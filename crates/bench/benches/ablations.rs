@@ -1,0 +1,140 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! buffer depths (the paper's "buffer tuning has marginal impact"
+//! claim), sink rate (the hot-spot bottleneck), packet length, and
+//! table-driven vs algebraic routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_sim::{SimConfig, Simulation};
+use noc_traffic::UniformRandom;
+use std::hint::black_box;
+
+fn base(lambda: f64) -> noc_sim::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.injection_rate(lambda)
+        .warmup_cycles(300)
+        .measure_cycles(2_500)
+        .seed(23);
+    b
+}
+
+fn bench_output_buffer_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_output_buffer_depth");
+    for depth in [2usize, 3, 6, 12] {
+        g.bench_function(format!("spidergon16_depth_{depth}"), |b| {
+            b.iter(|| {
+                let config = base(0.3).output_buffer_capacity(depth).build().unwrap();
+                let stats = Experiment {
+                    topology: TopologySpec::Spidergon { nodes: 16 },
+                    traffic: TrafficSpec::Uniform,
+                    config,
+                }
+                .run()
+                .unwrap();
+                black_box(stats.throughput())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_input_buffer_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_input_buffer_depth");
+    for depth in [1usize, 2, 4] {
+        g.bench_function(format!("spidergon16_depth_{depth}"), |b| {
+            b.iter(|| {
+                let config = base(0.3).input_buffer_capacity(depth).build().unwrap();
+                let stats = Experiment {
+                    topology: TopologySpec::Spidergon { nodes: 16 },
+                    traffic: TrafficSpec::Uniform,
+                    config,
+                }
+                .run()
+                .unwrap();
+                black_box(stats.throughput())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sink_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sink_rate");
+    for rate in [1usize, 2, 4] {
+        g.bench_function(format!("hotspot16_sink_{rate}"), |b| {
+            b.iter(|| {
+                let config = base(0.3).sink_rate(rate).build().unwrap();
+                let stats = Experiment {
+                    topology: TopologySpec::Spidergon { nodes: 16 },
+                    traffic: TrafficSpec::SingleHotspot { target: 0 },
+                    config,
+                }
+                .run()
+                .unwrap();
+                black_box(stats.throughput())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_packet_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_packet_length");
+    for len in [2usize, 6, 12] {
+        g.bench_function(format!("spidergon16_len_{len}"), |b| {
+            b.iter(|| {
+                let config = base(0.3).packet_len(len).build().unwrap();
+                let stats = Experiment {
+                    topology: TopologySpec::Spidergon { nodes: 16 },
+                    traffic: TrafficSpec::Uniform,
+                    config,
+                }
+                .run()
+                .unwrap();
+                black_box(stats.throughput())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_vs_algebraic_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_routing_impl");
+    let spec = TopologySpec::MeshBalanced { nodes: 16 };
+    g.bench_function("mesh16_xy", |b| {
+        b.iter(|| {
+            let stats = Experiment {
+                topology: spec,
+                traffic: TrafficSpec::Uniform,
+                config: base(0.3).build().unwrap(),
+            }
+            .run()
+            .unwrap();
+            black_box(stats.throughput())
+        })
+    });
+    g.bench_function("mesh16_table", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                spec.build().unwrap(),
+                spec.build_table_routing().unwrap(),
+                Box::new(UniformRandom::new(16).unwrap()),
+                base(0.3).build().unwrap(),
+            )
+            .unwrap();
+            black_box(sim.run().unwrap().throughput_flits_per_cycle())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_output_buffer_depth,
+        bench_input_buffer_depth,
+        bench_sink_rate,
+        bench_packet_length,
+        bench_table_vs_algebraic_routing
+);
+criterion_main!(ablations);

@@ -1,0 +1,43 @@
+//! Criterion benches for the analytical figures (2, 3 and the link
+//! table): pure graph computation, no simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_core::figures;
+use noc_topology::{metrics, Spidergon, Topology};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_diameter_vs_n_up_to_64", |b| {
+        b.iter(|| black_box(figures::fig2(black_box(64))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_avg_distance_vs_n_up_to_64", |b| {
+        b.iter(|| black_box(figures::fig3(black_box(64))))
+    });
+}
+
+fn bench_table_links(c: &mut Criterion) {
+    c.bench_function("table_links", |b| {
+        b.iter(|| black_box(figures::table_links(black_box(&[8, 16, 24, 32, 48, 64]))))
+    });
+}
+
+fn bench_all_pairs_bfs(c: &mut Criterion) {
+    let sg = Spidergon::new(64).unwrap();
+    let graph = sg.graph();
+    c.bench_function("all_pairs_bfs_spidergon_64", |b| {
+        b.iter(|| black_box(graph.all_pairs_distances()))
+    });
+    c.bench_function("topology_metrics_spidergon_64", |b| {
+        b.iter(|| black_box(metrics::TopologyMetrics::compute(&sg)))
+    });
+}
+
+criterion_group!(
+    name = analytical;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig2, bench_fig3, bench_table_links, bench_all_pairs_bfs
+);
+criterion_main!(analytical);

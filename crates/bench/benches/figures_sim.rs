@@ -1,0 +1,109 @@
+//! Criterion benches for the simulation figures: one representative
+//! kernel per paper figure, sized to finish in seconds while exercising
+//! exactly the code path the full regeneration uses.
+//!
+//! * `fig5_*` — validation runs (uniform, light load);
+//! * `fig6_7_*` — single hot-spot sweeps;
+//! * `fig8_9_*` — double hot-spot (placement A);
+//! * `fig10_11_*` — homogeneous uniform sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use noc_traffic::PlacementScenario;
+use std::hint::black_box;
+
+fn config(lambda: f64) -> SimConfig {
+    SimConfig::builder()
+        .injection_rate(lambda)
+        .warmup_cycles(300)
+        .measure_cycles(3_000)
+        .seed(17)
+        .build()
+        .unwrap()
+}
+
+fn run(topology: TopologySpec, traffic: TrafficSpec, lambda: f64) -> f64 {
+    Experiment {
+        topology,
+        traffic,
+        config: config(lambda),
+    }
+    .run()
+    .unwrap()
+    .throughput()
+}
+
+fn bench_fig5_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_validation");
+    for (name, spec) in [
+        ("ring_16", TopologySpec::Ring { nodes: 16 }),
+        ("spidergon_16", TopologySpec::Spidergon { nodes: 16 }),
+        ("mesh_16", TopologySpec::MeshBalanced { nodes: 16 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(spec, TrafficSpec::Uniform, 0.1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6_7_hotspot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_7_single_hotspot");
+    for (name, spec) in [
+        ("ring_16", TopologySpec::Ring { nodes: 16 }),
+        ("spidergon_16", TopologySpec::Spidergon { nodes: 16 }),
+        ("mesh_16", TopologySpec::MeshBalanced { nodes: 16 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(spec, TrafficSpec::SingleHotspot { target: 0 }, 0.2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_9_double_hotspot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_9_double_hotspot");
+    for (name, spec) in [
+        ("ring_24", TopologySpec::Ring { nodes: 24 }),
+        ("spidergon_24", TopologySpec::Spidergon { nodes: 24 }),
+        ("mesh_24", TopologySpec::MeshBalanced { nodes: 24 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run(
+                    spec,
+                    TrafficSpec::DoubleHotspotPlaced {
+                        scenario: PlacementScenario::Opposed,
+                    },
+                    0.2,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_11_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11_uniform");
+    for (name, spec) in [
+        ("ring_24", TopologySpec::Ring { nodes: 24 }),
+        ("spidergon_24", TopologySpec::Spidergon { nodes: 24 }),
+        ("mesh_24", TopologySpec::MeshBalanced { nodes: 24 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(spec, TrafficSpec::Uniform, 0.3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = figures_sim;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5_validation,
+        bench_fig6_7_hotspot,
+        bench_fig8_9_double_hotspot,
+        bench_fig10_11_uniform
+);
+criterion_main!(figures_sim);

@@ -1,0 +1,87 @@
+//! Micro-benches of the simulator's hot kernels: raw cycle throughput,
+//! routing decisions, route table construction and the DES event queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_routing::{RoutingAlgorithm, SpidergonAcrossFirst, TableRouting};
+use noc_sim::des::{EventQueue, SimTime};
+use noc_sim::{SimConfig, Simulation};
+use noc_topology::{NodeId, Spidergon};
+use noc_traffic::UniformRandom;
+use std::hint::black_box;
+
+fn bench_cycle_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_cycles");
+    for n in [16usize, 32, 64] {
+        g.bench_function(format!("spidergon_{n}_1000_cycles"), |b| {
+            b.iter(|| {
+                let topo = Spidergon::new(n).unwrap();
+                let routing = SpidergonAcrossFirst::new(&topo);
+                let pattern = UniformRandom::new(n).unwrap();
+                let config = SimConfig::builder()
+                    .injection_rate(0.3)
+                    .warmup_cycles(0)
+                    .measure_cycles(1_000)
+                    .build()
+                    .unwrap();
+                let mut sim =
+                    Simulation::new(Box::new(topo), Box::new(routing), Box::new(pattern), config)
+                        .unwrap();
+                black_box(sim.run().unwrap().flits_delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing_decision(c: &mut Criterion) {
+    let sg = Spidergon::new(64).unwrap();
+    let algo = SpidergonAcrossFirst::new(&sg);
+    c.bench_function("routing_next_hop_spidergon_64_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for src in 0..64 {
+                for dst in 0..64 {
+                    if src != dst {
+                        acc += algo.next_hop(NodeId::new(src), NodeId::new(dst)).index();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_table_construction(c: &mut Criterion) {
+    let sg = Spidergon::new(64).unwrap();
+    c.bench_function("table_routing_build_spidergon_64", |b| {
+        b.iter(|| black_box(TableRouting::from_topology(&sg)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Deterministic pseudo-times spread over [0, 1000).
+                let t = (i.wrapping_mul(2654435761) % 1_000_000) as f64 / 1_000.0;
+                q.schedule(SimTime::new(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    name = kernel;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cycle_throughput,
+        bench_routing_decision,
+        bench_table_construction,
+        bench_event_queue
+);
+criterion_main!(kernel);

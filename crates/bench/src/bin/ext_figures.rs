@@ -1,0 +1,14 @@
+//! Regenerates the extension figures: torus comparison and adaptive
+//! (West-First) vs deterministic (XY) mesh routing.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = noc_bench::figure_options_from_env();
+    let (tp, lat) = noc_core::figures::ext_torus(&opts)?;
+    noc_bench::emit(&tp)?;
+    noc_bench::emit(&lat)?;
+    let (tp, lat) = noc_core::figures::ext_adaptive(&opts)?;
+    noc_bench::emit(&tp)?;
+    noc_bench::emit(&lat)?;
+    noc_bench::emit(&noc_core::figures::ext_spidergon_routing(&opts)?)?;
+    noc_bench::emit(&noc_core::figures::ext_mixed_hotspot(&opts)?)?;
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 10 and 11: throughput and latency under
+//! homogeneous uniform traffic.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = noc_bench::figure_options_from_env();
+    let (fig10, fig11) = noc_core::figures::fig10_11(&opts)?;
+    noc_bench::emit(&fig10)?;
+    noc_bench::emit(&fig11)?;
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: network diameter vs number of nodes.
+fn main() -> std::io::Result<()> {
+    noc_bench::emit(&noc_core::figures::fig2(64))
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: average network distance vs number of nodes.
+fn main() -> std::io::Result<()> {
+    noc_bench::emit(&noc_core::figures::fig3(64))
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: analytical vs simulated average distance.
+//! Set NOC_FIGURE_MODE=quick for a fast smoke run.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = noc_bench::figure_options_from_env();
+    noc_bench::emit(&noc_core::figures::fig5(&opts)?)?;
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 6 and 7: throughput and latency under a single
+//! hot-spot destination. Set NOC_FIGURE_MODE=quick for a smoke run.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = noc_bench::figure_options_from_env();
+    let (fig6, fig7) = noc_core::figures::fig6_7(&opts)?;
+    noc_bench::emit(&fig6)?;
+    noc_bench::emit(&fig7)?;
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 8 and 9: throughput and latency under two
+//! hot-spot destinations (placements A and B).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = noc_bench::figure_options_from_env();
+    let (fig8, fig9) = noc_core::figures::fig8_9(&opts)?;
+    noc_bench::emit(&fig8)?;
+    noc_bench::emit(&fig9)?;
+    Ok(())
+}

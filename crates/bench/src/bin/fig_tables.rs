@@ -1,0 +1,6 @@
+//! Regenerates the Section 2 link-count comparison table.
+fn main() -> std::io::Result<()> {
+    noc_bench::emit(&noc_core::figures::table_links(&[
+        8, 12, 16, 24, 32, 48, 64,
+    ]))
+}

@@ -1,0 +1,90 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every paper figure has a binary (`cargo run --release --bin fig10`)
+//! that prints the figure's data as an aligned ASCII table and writes
+//! CSV + JSON dumps under `results/`, and a Criterion bench
+//! (`cargo bench`) that measures the cost of regenerating it.
+
+use noc_core::report::FigureData;
+use std::path::{Path, PathBuf};
+
+/// Directory the figure binaries write their CSV/JSON dumps into
+/// (relative to the working directory).
+pub const RESULTS_DIR: &str = "results";
+
+/// Quality selection for the figure binaries via the `NOC_FIGURE_MODE`
+/// environment variable: `quick` (seconds) or `full` (default,
+/// minutes in release mode).
+pub fn figure_options_from_env() -> noc_core::FigureOptions {
+    match std::env::var("NOC_FIGURE_MODE").as_deref() {
+        Ok("quick") => noc_core::FigureOptions::quick(),
+        _ => noc_core::FigureOptions::full(),
+    }
+}
+
+/// Prints a figure as an ASCII table plus a terminal line plot, and
+/// writes `<id>.csv` and `<id>.json` under [`RESULTS_DIR`].
+///
+/// Latency figures (y axis in cycles) are plotted on a log scale so
+/// the saturation knees stay visible next to the zero-load values.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the
+/// files.
+pub fn emit(figure: &FigureData) -> std::io::Result<()> {
+    print!("{}", figure.to_ascii_table());
+    println!();
+    let plot_opts = if figure.y_label.contains("latency") || figure.y_label.contains("cycles") {
+        noc_core::plot::PlotOptions::log()
+    } else {
+        noc_core::plot::PlotOptions::default()
+    };
+    println!("{}", noc_core::plot::render(figure, plot_opts));
+    let dir = PathBuf::from(RESULTS_DIR);
+    std::fs::create_dir_all(&dir)?;
+    write_dumps(figure, &dir)?;
+    println!(
+        "wrote {}/{}.csv and {}/{}.json",
+        RESULTS_DIR, figure.id, RESULTS_DIR, figure.id
+    );
+    Ok(())
+}
+
+/// Writes the CSV and JSON dumps of a figure into `dir`.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_dumps(figure: &FigureData, dir: &Path) -> std::io::Result<()> {
+    std::fs::write(dir.join(format!("{}.csv", figure.id)), figure.to_csv())?;
+    std::fs::write(dir.join(format!("{}.json", figure.id)), figure.to_json())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::report::Series;
+
+    #[test]
+    fn dumps_are_written() {
+        let fig = FigureData::new("unit-test-fig", "t", "x", "y")
+            .with_series(Series::from_xy("s", [(1.0, 2.0)]));
+        let dir = std::env::temp_dir().join("noc-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_dumps(&fig, &dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("unit-test-fig.csv")).unwrap();
+        assert!(csv.starts_with("x,s"));
+        let json = std::fs::read_to_string(dir.join("unit-test-fig.json")).unwrap();
+        assert!(json.contains("unit-test-fig"));
+    }
+
+    #[test]
+    fn env_mode_defaults_to_full() {
+        // NOC_FIGURE_MODE unset in the test environment.
+        let opts = figure_options_from_env();
+        assert!(opts.measure_cycles >= noc_core::FigureOptions::quick().measure_cycles);
+    }
+}

@@ -1,0 +1,172 @@
+//! `noc-cli` — run a NoC experiment described by a JSON spec.
+//!
+//! ```text
+//! noc-cli run <spec.json>            run one experiment, print stats
+//! noc-cli run <spec.json> --reps 5   replicate over 5 seeds
+//! noc-cli sweep <spec.json> --max 0.6 --steps 12 --reps 3
+//!                                    injection-rate sweep, CSV to stdout
+//! noc-cli example                    print an example spec
+//! noc-cli metrics <N>                analytical metrics at N nodes
+//! ```
+//!
+//! A spec is the JSON form of [`noc_core::Experiment`]; get a template
+//! with `noc-cli example`.
+
+use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("example") => cmd_example(),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: noc-cli run <spec.json> [--reps N] | sweep <spec.json> [--max R] [--steps K] [--reps N] | example | metrics <N>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing spec path")?;
+    let mut reps = 1usize;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--reps" => {
+                reps = it
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|_| "--reps must be a positive integer")?;
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let spec = std::fs::read_to_string(path)?;
+    let experiment: Experiment = serde_json::from_str(&spec)?;
+    println!(
+        "running {} / {} at lambda = {} ({} replication{})",
+        experiment.topology.label()?,
+        experiment.traffic.label(),
+        experiment.config.injection_rate,
+        reps,
+        if reps == 1 { "" } else { "s" },
+    );
+    if reps == 1 {
+        let result = experiment.run()?;
+        println!("{}", result.stats);
+        println!(
+            "acceptance {:.3}, mean hops {:.3}, p95 latency {} cycles",
+            result.stats.acceptance_ratio(),
+            result.stats.mean_hops().unwrap_or(f64::NAN),
+            result.stats.latency.percentile(95.0).unwrap_or(0),
+        );
+    } else {
+        let agg = experiment.run_replicated(reps)?;
+        println!(
+            "throughput {:.4} ± {:.4} flits/cycle",
+            agg.throughput_mean, agg.throughput_std
+        );
+        println!(
+            "latency    {:.1} ± {:.1} cycles",
+            agg.latency_mean, agg.latency_std
+        );
+        println!("acceptance {:.3}", agg.acceptance_mean);
+        println!("mean hops  {:.3}", agg.mean_hops);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing spec path")?;
+    let (mut max, mut steps, mut reps) = (0.6f64, 12usize, 1usize);
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--max" => max = value.parse()?,
+            "--steps" => steps = value.parse()?,
+            "--reps" => reps = value.parse()?,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let experiment: Experiment = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    let rates: Vec<f64> = (1..=steps).map(|i| max * i as f64 / steps as f64).collect();
+    let sweep = noc_core::sweep_rates(
+        experiment.topology,
+        experiment.traffic,
+        &experiment.config,
+        &rates,
+        reps,
+    )?;
+    println!("# {} / {}", sweep.topology_label, sweep.traffic_label);
+    println!("rate,throughput,throughput_std,latency,latency_std,acceptance,mean_hops");
+    for p in &sweep.points {
+        println!(
+            "{},{},{},{},{},{},{}",
+            p.rate,
+            p.throughput_mean,
+            p.throughput_std,
+            p.latency_mean,
+            p.latency_std,
+            p.acceptance,
+            p.mean_hops
+        );
+    }
+    Ok(())
+}
+
+fn cmd_example() -> Result<(), Box<dyn std::error::Error>> {
+    let example = Experiment {
+        topology: TopologySpec::Spidergon { nodes: 16 },
+        traffic: TrafficSpec::SingleHotspot { target: 0 },
+        config: SimConfig::builder()
+            .injection_rate(0.2)
+            .warmup_cycles(1_000)
+            .measure_cycles(10_000)
+            .seed(42)
+            .build()?,
+    };
+    println!("{}", serde_json::to_string_pretty(&example)?);
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = args
+        .first()
+        .ok_or("missing node count")?
+        .parse()
+        .map_err(|_| "node count must be an integer")?;
+    let mut specs = vec![TopologySpec::Ring { nodes: n }];
+    if n.is_multiple_of(2) {
+        specs.push(TopologySpec::Spidergon { nodes: n });
+    }
+    specs.push(TopologySpec::MeshBalanced { nodes: n });
+    specs.push(TopologySpec::RealisticMesh { nodes: n });
+    println!(
+        "{:>20}  {:>6}  {:>4}  {:>8}",
+        "topology", "links", "ND", "E[D]"
+    );
+    for spec in specs {
+        let topo = spec.build()?;
+        let m = noc_topology::metrics::TopologyMetrics::compute(topo.as_ref());
+        println!(
+            "{:>20}  {:>6}  {:>4}  {:>8.3}",
+            m.label, m.num_links, m.diameter, m.mean_distance_paper
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Unified error type of the experiment harness.
+
+use core::fmt;
+use noc_sim::SimError;
+use noc_topology::TopologyError;
+use noc_traffic::TrafficError;
+
+/// Error produced while building or running an experiment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoreError {
+    /// Topology construction failed.
+    Topology(TopologyError),
+    /// Traffic pattern construction failed.
+    Traffic(TrafficError),
+    /// Simulation construction or execution failed.
+    Sim(SimError),
+    /// The experiment specification is inconsistent (e.g. transpose
+    /// traffic on a non-square mesh).
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Topology(e) => write!(f, "topology error: {e}"),
+            CoreError::Traffic(e) => write!(f, "traffic error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::InvalidSpec { reason } => write!(f, "invalid experiment spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Topology(e) => Some(e),
+            CoreError::Traffic(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+impl From<TrafficError> for CoreError {
+    fn from(e: TrafficError) -> Self {
+        CoreError::Traffic(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: CoreError = TopologyError::ZeroDimension.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("topology"));
+        let e: CoreError = TrafficError::TooFewNodes {
+            requested: 1,
+            minimum: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("traffic"));
+        let e: CoreError = SimError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("simulation"));
+        let e = CoreError::InvalidSpec {
+            reason: "bad".into(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

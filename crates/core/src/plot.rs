@@ -1,0 +1,257 @@
+//! Terminal line plots for [`FigureData`]:
+//! render the reproduced figures as ASCII charts so curve shapes —
+//! saturation knees, crossovers, collapses — can be eyeballed against
+//! the paper without leaving the shell.
+
+use crate::report::FigureData;
+
+use std::fmt::Write as _;
+
+/// Marker characters assigned to series, in order.
+const MARKERS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '~', '^'];
+
+/// Options for [`render`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlotOptions {
+    /// Plot area width in columns (excluding the axis gutter).
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+    /// Use a logarithmic y axis (useful for latency figures whose
+    /// saturated values dwarf the zero-load ones).
+    pub log_y: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 64,
+            height: 20,
+            log_y: false,
+        }
+    }
+}
+
+impl PlotOptions {
+    /// Default geometry with a logarithmic y axis.
+    pub fn log() -> Self {
+        PlotOptions {
+            log_y: true,
+            ..PlotOptions::default()
+        }
+    }
+}
+
+/// Renders a figure as an ASCII line plot with a legend.
+///
+/// Each series gets a marker character; points are placed on a
+/// `width x height` grid spanning the data's bounding box. Overlapping
+/// points keep the earlier series' marker. Returns a multi-line string
+/// ending in a legend.
+///
+/// # Panics
+///
+/// Panics if `options.width` or `options.height` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use noc_core::plot::{render, PlotOptions};
+/// use noc_core::report::{FigureData, Series};
+///
+/// let fig = FigureData::new("demo", "Demo", "x", "y")
+///     .with_series(Series::from_xy("linear", (0..10).map(|i| (i as f64, i as f64))));
+/// let chart = render(&fig, PlotOptions::default());
+/// assert!(chart.contains("o = linear"));
+/// ```
+pub fn render(figure: &FigureData, options: PlotOptions) -> String {
+    assert!(
+        options.width > 0 && options.height > 0,
+        "plot area must be nonzero"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", figure.id, figure.title);
+
+    let points: Vec<(f64, f64, usize)> = figure
+        .series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            s.points
+                .iter()
+                .filter(|p| p.x.is_finite() && p.y.is_finite())
+                .filter(|p| !options.log_y || p.y > 0.0)
+                .map(move |p| (p.x, p.y, si))
+        })
+        .collect();
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+
+    let y_of = |y: f64| if options.log_y { y.ln() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y_of(y));
+        y_max = y_max.max(y_of(y));
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let (w, h) = (options.width, options.height);
+    let mut grid = vec![vec![' '; w]; h];
+    for &(x, y, si) in &points {
+        let cx = (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+        let cy = (((y_of(y) - y_min) / (y_max - y_min)) * (h - 1) as f64).round() as usize;
+        let row = h - 1 - cy;
+        if grid[row][cx] == ' ' {
+            grid[row][cx] = MARKERS[si % MARKERS.len()];
+        }
+    }
+
+    let y_top = if options.log_y { y_max.exp() } else { y_max };
+    let y_bottom = if options.log_y { y_min.exp() } else { y_min };
+    let label_top = format_tick(y_top);
+    let label_bottom = format_tick(y_bottom);
+    let gutter = label_top.len().max(label_bottom.len());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            label_top.clone()
+        } else if i == h - 1 {
+            label_bottom.clone()
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{label:>gutter$} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>gutter$} +{}", "", "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{:>gutter$}  {}{:>rest$}",
+        "",
+        format_tick(x_min),
+        format_tick(x_max),
+        rest = w.saturating_sub(format_tick(x_min).len()),
+    );
+    let _ = writeln!(
+        out,
+        "x = {}; y = {}{}",
+        figure.x_label,
+        figure.y_label,
+        if options.log_y { " (log scale)" } else { "" }
+    );
+    for (si, s) in figure.series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", MARKERS[si % MARKERS.len()], s.label);
+    }
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+
+    fn sample() -> FigureData {
+        FigureData::new("t", "Two lines", "load", "throughput")
+            .with_series(Series::from_xy("flat", (0..10).map(|i| (i as f64, 1.0))))
+            .with_series(Series::from_xy(
+                "rising",
+                (0..10).map(|i| (i as f64, i as f64)),
+            ))
+    }
+
+    #[test]
+    fn renders_grid_legend_and_axes() {
+        let s = render(&sample(), PlotOptions::default());
+        assert!(s.contains("o = flat"));
+        assert!(s.contains("+ = rising"));
+        assert!(s.contains("x = load; y = throughput"));
+        // Header + height rows + axis + ticks + labels + 2 legend rows.
+        assert!(s.lines().count() >= 20 + 5);
+        // Both markers appear in the plot area.
+        assert!(s.contains('o') && s.contains('+'));
+    }
+
+    #[test]
+    fn rising_series_touches_opposite_corners() {
+        let fig = FigureData::new("t", "t", "x", "y")
+            .with_series(Series::from_xy("diag", [(0.0, 0.0), (1.0, 1.0)]));
+        let opts = PlotOptions {
+            width: 11,
+            height: 5,
+            log_y: false,
+        };
+        let s = render(&fig, opts);
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 5);
+        // Top row holds the max point at the right edge.
+        assert_eq!(rows[0].chars().last(), Some('o'));
+        // Bottom row holds the min point at the left edge (after "|").
+        let bottom = rows[4];
+        let after_pipe = &bottom[bottom.find('|').unwrap() + 1..];
+        assert_eq!(after_pipe.chars().next(), Some('o'));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let fig = FigureData::new("t", "t", "x", "y").with_series(Series::from_xy(
+            "mixed",
+            [(0.0, 0.0), (1.0, 10.0), (2.0, 1000.0)],
+        ));
+        let s = render(&fig, PlotOptions::log());
+        assert!(s.contains("log scale"));
+        // Two positive points only, counted inside the plot rows.
+        let markers: usize = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches('o').count())
+            .sum();
+        assert_eq!(markers, 2);
+    }
+
+    #[test]
+    fn empty_figure_says_no_data() {
+        let fig = FigureData::new("t", "t", "x", "y");
+        assert!(render(&fig, PlotOptions::default()).contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let fig =
+            FigureData::new("t", "t", "x", "y").with_series(Series::from_xy("c", [(1.0, 5.0)]));
+        let s = render(&fig, PlotOptions::default());
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_geometry_rejected() {
+        let _ = render(
+            &sample(),
+            PlotOptions {
+                width: 0,
+                height: 5,
+                log_y: false,
+            },
+        );
+    }
+}

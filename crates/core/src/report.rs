@@ -1,0 +1,253 @@
+//! Figure data containers and renderers (ASCII tables, CSV, JSON).
+//!
+//! Every reproduced figure is a set of labelled series over a common
+//! x-axis; the renderers print exactly the rows a plot would be drawn
+//! from, so `cargo run --bin fig10` output can be compared with the
+//! paper directly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One point of a series.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (injection rate, node count, ...).
+    pub x: f64,
+    /// Y coordinate (throughput, latency, hops, ...).
+    pub y: f64,
+    /// Optional spread (sample standard deviation over replications).
+    pub std: f64,
+}
+
+/// A labelled curve of a figure.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label, e.g. `"spidergon-24"`.
+    pub label: String,
+    /// Points in ascending x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates a series from `(x, y)` pairs with zero spread.
+    pub fn from_xy(label: impl Into<String>, xy: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points: xy
+                .into_iter()
+                .map(|(x, y)| Point { x, y, std: 0.0 })
+                .collect(),
+        }
+    }
+
+    /// The y value at a given x, if present (exact match within 1e-9).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+}
+
+/// All data of one reproduced figure or table.
+///
+/// # Examples
+///
+/// ```
+/// use noc_core::report::{FigureData, Series};
+///
+/// let fig = FigureData::new("fig2", "Network diameter vs N", "N", "ND")
+///     .with_series(Series::from_xy("ring", [(8.0, 4.0), (16.0, 8.0)]));
+/// let table = fig.to_ascii_table();
+/// assert!(table.contains("ring"));
+/// assert!(fig.to_csv().starts_with("x,"));
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Title, e.g. `"NoC throughput, one hot-spot destination node"`.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a series in place.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Finds a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The sorted union of all x values across series.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are not NaN"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders an aligned ASCII table: one row per x value, one column
+    /// per series (empty cells where a series has no point).
+    pub fn to_ascii_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}: {}", self.id, self.title);
+        let _ = writeln!(out, "# y = {}", self.y_label);
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let xs = self.x_values();
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for &x in &xs {
+            let mut row = vec![format_number(x)];
+            for s in &self.series {
+                row.push(s.y_at(x).map(format_number).unwrap_or_default());
+            }
+            rows.push(row);
+        }
+        let cols = rows[0].len();
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for row in &rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders CSV with columns `x, <label>, <label>_std, ...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x");
+        for s in &self.series {
+            let _ = write!(out, ",{},{}_std", s.label, s.label);
+        }
+        out.push('\n');
+        for &x in &self.x_values() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                    Some(p) => {
+                        let _ = write!(out, ",{},{}", p.y, p.std);
+                    }
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the types involved (no non-string keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigureData serializes")
+    }
+}
+
+fn format_number(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        FigureData::new("figX", "Sample", "N", "metric")
+            .with_series(Series::from_xy("a", [(1.0, 0.5), (2.0, 1.5)]))
+            .with_series(Series::from_xy("b", [(1.0, 2.0), (3.0, 4.0)]))
+    }
+
+    #[test]
+    fn x_values_are_union() {
+        assert_eq!(sample().x_values(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ascii_table_has_all_rows_and_columns() {
+        let t = sample().to_ascii_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("N"));
+        assert!(t.contains('a') && t.contains('b'));
+        // 2 header comment lines + 1 header row + 3 data rows.
+        assert_eq!(t.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_has_std_columns_and_gaps() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "x,a,a_std,b,b_std");
+        assert_eq!(lines.next().unwrap(), "1,0.5,0,2,0");
+        assert_eq!(lines.next().unwrap(), "2,1.5,0,,");
+        assert_eq!(lines.next().unwrap(), "3,,,4,0");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let fig = sample();
+        let back: FigureData = serde_json::from_str(&fig.to_json()).unwrap();
+        assert_eq!(back, fig);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let fig = sample();
+        assert!(fig.series_by_label("a").is_some());
+        assert!(fig.series_by_label("zzz").is_none());
+        assert_eq!(fig.series_by_label("b").unwrap().y_at(3.0), Some(4.0));
+        assert_eq!(fig.series_by_label("b").unwrap().y_at(9.0), None);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(4.0), "4");
+        assert_eq!(format_number(0.12345), "0.1235"); // {:.4} rounds
+    }
+}

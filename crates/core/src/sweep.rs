@@ -1,0 +1,206 @@
+//! Injection-rate sweeps: the x-axis of the paper's Figures 6-11.
+
+use crate::{Aggregate, CoreError, Experiment, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// One measured point of an injection-rate sweep.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Injection rate lambda in flits/cycle per source.
+    pub rate: f64,
+    /// Mean aggregate throughput in flits/cycle over replications.
+    pub throughput_mean: f64,
+    /// Sample standard deviation of throughput.
+    pub throughput_std: f64,
+    /// Mean packet latency in cycles over replications.
+    pub latency_mean: f64,
+    /// Sample standard deviation of latency.
+    pub latency_std: f64,
+    /// Mean acceptance ratio (drops below 1 at saturation).
+    pub acceptance: f64,
+    /// Mean hops per delivered packet.
+    pub mean_hops: f64,
+}
+
+/// Result of sweeping one (topology, traffic) pair over several rates.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Label of the topology swept.
+    pub topology_label: String,
+    /// Label of the traffic pattern.
+    pub traffic_label: String,
+    /// The measured points, in ascending rate order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// `(rate, throughput)` pairs for plotting.
+    pub fn throughput_xy(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.rate, p.throughput_mean))
+            .collect()
+    }
+
+    /// `(rate, latency)` pairs for plotting.
+    pub fn latency_xy(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.rate, p.latency_mean))
+            .collect()
+    }
+}
+
+/// Sweeps the injection rate over `rates` for a (topology, traffic)
+/// pair, running `replications` seeds per point.
+///
+/// # Errors
+///
+/// Returns the first build or simulation error. Rates must be given in
+/// ascending order (validated, [`CoreError::InvalidSpec`]).
+///
+/// # Examples
+///
+/// ```
+/// use noc_core::{sweep_rates, TopologySpec, TrafficSpec};
+/// use noc_sim::SimConfig;
+///
+/// let base = SimConfig::builder()
+///     .warmup_cycles(100)
+///     .measure_cycles(1_000)
+///     .build()?;
+/// let result = sweep_rates(
+///     TopologySpec::Spidergon { nodes: 8 },
+///     TrafficSpec::Uniform,
+///     &base,
+///     &[0.05, 0.1],
+///     1,
+/// )?;
+/// assert_eq!(result.points.len(), 2);
+/// assert!(result.points[1].throughput_mean > result.points[0].throughput_mean);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sweep_rates(
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    base_config: &SimConfig,
+    rates: &[f64],
+    replications: usize,
+) -> Result<SweepResult, CoreError> {
+    if rates.is_empty() {
+        return Err(CoreError::InvalidSpec {
+            reason: "rate sweep needs at least one rate".to_owned(),
+        });
+    }
+    if rates.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CoreError::InvalidSpec {
+            reason: "sweep rates must be strictly ascending".to_owned(),
+        });
+    }
+    let mut points = Vec::with_capacity(rates.len());
+    let mut topology_label = String::new();
+    let mut traffic_label = String::new();
+    for &rate in rates {
+        let mut config = base_config.clone();
+        config.injection_rate = rate;
+        let experiment = Experiment {
+            topology,
+            traffic,
+            config,
+        };
+        let agg = experiment.run_replicated(replications)?;
+        topology_label = agg.runs[0].topology_label.clone();
+        traffic_label = agg.runs[0].traffic_label.clone();
+        points.push(point_from_aggregate(rate, &agg));
+    }
+    Ok(SweepResult {
+        topology_label,
+        traffic_label,
+        points,
+    })
+}
+
+fn point_from_aggregate(rate: f64, agg: &Aggregate) -> SweepPoint {
+    SweepPoint {
+        rate,
+        throughput_mean: agg.throughput_mean,
+        throughput_std: agg.throughput_std,
+        latency_mean: agg.latency_mean,
+        latency_std: agg.latency_std,
+        acceptance: agg.acceptance_mean,
+        mean_hops: agg.mean_hops,
+    }
+}
+
+/// Default injection-rate grid used by the figure reproductions:
+/// 0.025 to `max` in steps matched to the paper's axes.
+pub fn default_rate_grid(max: f64) -> Vec<f64> {
+    let mut rates = Vec::new();
+    let mut r = 0.025;
+    while r <= max + 1e-9 {
+        rates.push((r * 1000.0).round() / 1000.0);
+        r += 0.025;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig::builder()
+            .warmup_cycles(100)
+            .measure_cycles(800)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_monotone_throughput_below_saturation() {
+        let result = sweep_rates(
+            TopologySpec::Spidergon { nodes: 8 },
+            TrafficSpec::Uniform,
+            &base(),
+            &[0.05, 0.1, 0.2],
+            2,
+        )
+        .unwrap();
+        assert_eq!(result.topology_label, "spidergon-8");
+        let tp: Vec<f64> = result.points.iter().map(|p| p.throughput_mean).collect();
+        assert!(tp[0] < tp[1] && tp[1] < tp[2], "{tp:?}");
+        assert_eq!(result.throughput_xy().len(), 3);
+        assert_eq!(result.latency_xy().len(), 3);
+    }
+
+    #[test]
+    fn empty_and_unsorted_rates_rejected() {
+        let e = sweep_rates(
+            TopologySpec::Ring { nodes: 6 },
+            TrafficSpec::Uniform,
+            &base(),
+            &[],
+            1,
+        );
+        assert!(matches!(e, Err(CoreError::InvalidSpec { .. })));
+        let e = sweep_rates(
+            TopologySpec::Ring { nodes: 6 },
+            TrafficSpec::Uniform,
+            &base(),
+            &[0.2, 0.1],
+            1,
+        );
+        assert!(matches!(e, Err(CoreError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn default_grid_is_ascending_and_bounded() {
+        let grid = default_rate_grid(0.5);
+        assert_eq!(grid.first(), Some(&0.025));
+        assert_eq!(grid.last(), Some(&0.5));
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(grid.len(), 20);
+    }
+}

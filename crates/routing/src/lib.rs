@@ -1,0 +1,60 @@
+//! Routing algorithms for the DATE 2006 Ring / Spidergon / 2D-Mesh NoC
+//! study, plus deadlock analysis.
+//!
+//! The paper pairs each topology with a deterministic, minimal routing
+//! scheme:
+//!
+//! * [`RingShortestPath`] — shortest ring direction, maintained to the
+//!   target, dateline virtual-channel switch for deadlock freedom;
+//! * [`SpidergonAcrossFirst`] — the Spidergon *Across-First* scheme:
+//!   take the across link first when the ring distance exceeds `N/4`,
+//!   then a fixed ring direction;
+//! * [`MeshXY`] — dimension-order routing (X then Y), deadlock-free
+//!   with a single virtual channel, valid on full and prefix-irregular
+//!   meshes;
+//! * [`TableRouting`] — BFS next-hop tables for arbitrary topologies
+//!   (shortest-path oracle and irregular-topology fallback);
+//! * [`TorusXY`] — dimension-order torus routing with per-dimension
+//!   dateline virtual channels (a future-work topology);
+//! * [`WestFirst`] — partially-adaptive turn-model mesh routing (the
+//!   paper's "adaptive" option, future work).
+//!
+//! [`cdg`] builds channel dependency graphs to *prove* deadlock freedom
+//! of the above, and [`validate`] walks every route to check
+//! termination and minimality.
+//!
+//! # Quick start
+//!
+//! ```
+//! use noc_routing::{validate, RoutingAlgorithm, SpidergonAcrossFirst};
+//! use noc_topology::{NodeId, Spidergon};
+//!
+//! let sg = Spidergon::new(16)?;
+//! let algo = SpidergonAcrossFirst::new(&sg);
+//! let report = validate::validate_all_routes(&algo, &sg)?;
+//! assert_eq!(report.non_minimal, 0); // Across-First is shortest-path
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adaptive;
+mod algorithm;
+pub mod cdg;
+mod mesh_routing;
+mod ring_routing;
+mod spidergon_routing;
+mod table;
+mod torus_routing;
+pub mod validate;
+
+pub use adaptive::WestFirst;
+pub use algorithm::{Route, RoutingAlgorithm};
+pub use mesh_routing::MeshXY;
+pub use ring_routing::RingShortestPath;
+pub use spidergon_routing::{SpidergonAcrossFirst, SpidergonAcrossLast};
+pub use table::TableRouting;
+pub use torus_routing::TorusXY;
+pub use validate::{RouteError, ValidationReport};

@@ -1,0 +1,229 @@
+//! Dimension-order (XY) routing for rectangular and irregular meshes.
+
+use crate::RoutingAlgorithm;
+use noc_topology::{Direction, IrregularMesh, NodeId, RectMesh, Topology};
+
+/// The paper's 2D Mesh routing: *"Dimension order routing is adopted:
+/// flits from the source node migrate along the X (horizontal link)
+/// nodes up to the column of the target, then along the Y (vertical
+/// link) nodes up to the target node."*
+///
+/// Dimension-order routing is minimal and deadlock-free with a single
+/// virtual channel (the turn set excludes the cycles; verified in
+/// [`crate::cdg`] tests), which is why the paper gives mesh routers one
+/// output buffer per link where ring-like routers get a pair.
+///
+/// The same implementation routes **irregular meshes** (partial last
+/// row) with one amendment: a packet whose current router is in the
+/// partial last row and whose destination lies in another row first
+/// moves **North** into the full part of the grid, then routes XY as
+/// usual. Plain X-first could otherwise step onto a missing grid
+/// position (e.g. east past the end of the partial row). The amendment
+/// preserves minimality (the Manhattan distance is unchanged) and
+/// deadlock freedom: it only adds North-to-East/West turns, and a
+/// dependency cycle would also need a South-to-East/West turn, which
+/// never occurs (proved by the [`crate::cdg`] tests).
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{MeshXY, RoutingAlgorithm};
+/// use noc_topology::{Direction, NodeId, RectMesh};
+///
+/// let mesh = RectMesh::new(4, 2)?; // paper's 8-node mesh
+/// let algo = MeshXY::new(&mesh);
+/// // Node 0 -> node 7: X first (east), then Y (south).
+/// assert_eq!(algo.next_hop(NodeId::new(0), NodeId::new(7)), Direction::East);
+/// assert_eq!(algo.next_hop(NodeId::new(3), NodeId::new(7)), Direction::South);
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MeshXY {
+    cols: usize,
+    num_nodes: usize,
+}
+
+impl MeshXY {
+    /// Creates the routing function for a full rectangular mesh.
+    pub fn new(mesh: &RectMesh) -> Self {
+        MeshXY {
+            cols: mesh.cols(),
+            num_nodes: mesh.cols() * mesh.rows(),
+        }
+    }
+
+    /// Creates the routing function for an irregular mesh.
+    pub fn new_irregular(mesh: &IrregularMesh) -> Self {
+        MeshXY {
+            cols: mesh.cols(),
+            num_nodes: mesh.num_nodes(),
+        }
+    }
+
+    /// Creates the routing function from raw grid parameters: `cols`
+    /// columns, `num_nodes` nodes laid out row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `num_nodes < 2`.
+    pub fn for_grid(cols: usize, num_nodes: usize) -> Self {
+        assert!(cols > 0, "mesh requires at least one column");
+        assert!(num_nodes >= 2, "mesh requires at least two nodes");
+        MeshXY { cols, num_nodes }
+    }
+
+    /// Number of columns of the routed grid.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of nodes of the routed grid.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {node} out of range for mesh of {} nodes",
+            self.num_nodes
+        );
+        (node.index() % self.cols, node.index() / self.cols)
+    }
+}
+
+impl MeshXY {
+    /// Returns `true` if `row` is a partially-filled last row.
+    fn row_is_partial(&self, row: usize) -> bool {
+        !self.num_nodes.is_multiple_of(self.cols) && row == (self.num_nodes - 1) / self.cols
+    }
+}
+
+impl RoutingAlgorithm for MeshXY {
+    fn next_hop(&self, current: NodeId, dest: NodeId) -> Direction {
+        let (cx, cy) = self.coords(current);
+        let (dx, dy) = self.coords(dest);
+        // Irregular-mesh amendment: climb out of the partial last row
+        // before sweeping X (see the type-level docs).
+        if cy != dy && self.row_is_partial(cy) {
+            return Direction::North;
+        }
+        if cx < dx {
+            Direction::East
+        } else if cx > dx {
+            Direction::West
+        } else if cy < dy {
+            Direction::South
+        } else if cy > dy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    fn label(&self) -> String {
+        "xy-dimension-order".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Topology;
+
+    #[test]
+    fn x_before_y() {
+        let mesh = RectMesh::new(4, 4).unwrap();
+        let a = MeshXY::new(&mesh);
+        // 0 at (0,0), 15 at (3,3): go east until column 3, then south.
+        let mut at = NodeId::new(0);
+        let mut dirs = Vec::new();
+        while at != NodeId::new(15) {
+            let d = a.next_hop(at, NodeId::new(15));
+            dirs.push(d);
+            at = mesh.neighbor(at, d).unwrap();
+        }
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South,
+                Direction::South
+            ]
+        );
+    }
+
+    #[test]
+    fn routes_are_minimal_on_rect_meshes() {
+        for (m, n) in [(2usize, 4usize), (4, 6), (3, 3), (1, 5), (5, 2)] {
+            let mesh = RectMesh::new(m, n).unwrap();
+            let a = MeshXY::new(&mesh);
+            for src in mesh.node_ids() {
+                for dst in mesh.node_ids() {
+                    let mut at = src;
+                    let mut hops = 0usize;
+                    while at != dst {
+                        let d = a.next_hop(at, dst);
+                        at = mesh
+                            .neighbor(at, d)
+                            .unwrap_or_else(|| panic!("invalid hop {d} at {at}"));
+                        hops += 1;
+                        assert!(hops <= m * n);
+                    }
+                    assert_eq!(hops, mesh.manhattan_distance(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_stay_inside_irregular_meshes() {
+        for (cols, n) in [(3usize, 7usize), (4, 10), (5, 23), (3, 8), (4, 14)] {
+            let mesh = IrregularMesh::new(cols, n).unwrap();
+            let a = MeshXY::new_irregular(&mesh);
+            for src in mesh.node_ids() {
+                for dst in mesh.node_ids() {
+                    let mut at = src;
+                    let mut hops = 0usize;
+                    while at != dst {
+                        let d = a.next_hop(at, dst);
+                        at = mesh.neighbor(at, d).unwrap_or_else(|| {
+                            panic!("cols={cols} n={n}: XY left the mesh at {at} dir {d}")
+                        });
+                        hops += 1;
+                        assert!(hops <= n);
+                    }
+                    assert_eq!(hops, mesh.manhattan_distance(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vc_suffices() {
+        let mesh = RectMesh::new(3, 3).unwrap();
+        assert_eq!(MeshXY::new(&mesh).num_vcs_required(), 1);
+        // Default vc_for_hop keeps the current VC.
+        let a = MeshXY::new(&mesh);
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(0), NodeId::new(2), Direction::East, 0),
+            0
+        );
+    }
+
+    #[test]
+    fn local_at_destination() {
+        let a = MeshXY::for_grid(3, 9);
+        assert_eq!(a.next_hop(NodeId::new(4), NodeId::new(4)), Direction::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let a = MeshXY::for_grid(3, 6);
+        let _ = a.next_hop(NodeId::new(6), NodeId::new(0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Shortest-direction routing on the ring, with dateline virtual-channel
+//! selection for deadlock avoidance.
+
+use crate::RoutingAlgorithm;
+use noc_topology::{Direction, NodeId, Ring, Topology};
+
+/// The paper's Ring routing: "clockwise or counterclockwise direction is
+/// taken from the source to the target node, depending on the shortest
+/// path direction", and the direction is then maintained.
+///
+/// Ties (`dist == N/2` on even rings) are broken clockwise, which keeps
+/// the algorithm deterministic and vertex-symmetric.
+///
+/// Deadlock avoidance uses the classic **dateline** scheme with the
+/// paper's pair of output buffers per link: packets start on VC 0 and
+/// switch to VC 1 when they traverse the wrap-around edge of their ring
+/// direction (clockwise `N-1 -> 0`, counterclockwise `0 -> N-1`). This
+/// breaks the single cycle in each direction's channel-dependency graph
+/// (verified in [`crate::cdg`] tests).
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{RingShortestPath, RoutingAlgorithm};
+/// use noc_topology::{Direction, NodeId, Ring};
+///
+/// let algo = RingShortestPath::new(&Ring::new(8)?);
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(0), NodeId::new(3)),
+///     Direction::Clockwise,
+/// );
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(0), NodeId::new(6)),
+///     Direction::CounterClockwise,
+/// );
+/// assert_eq!(algo.next_hop(NodeId::new(5), NodeId::new(5)), Direction::Local);
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RingShortestPath {
+    num_nodes: usize,
+}
+
+impl RingShortestPath {
+    /// Creates the routing function for a specific ring.
+    pub fn new(ring: &Ring) -> Self {
+        RingShortestPath {
+            num_nodes: ring.num_nodes(),
+        }
+    }
+
+    /// Creates the routing function for a ring of `num_nodes` nodes
+    /// without constructing the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 3`.
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 3, "ring requires at least 3 nodes");
+        RingShortestPath { num_nodes }
+    }
+
+    /// Number of nodes of the ring this algorithm routes on.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {node} out of range for ring of {} nodes",
+            self.num_nodes
+        );
+    }
+
+    /// The ring direction a packet from `src` to `dst` travels in
+    /// (shortest path, ties broken clockwise), or `None` if `src == dst`.
+    pub fn ring_direction(&self, src: NodeId, dst: NodeId) -> Option<Direction> {
+        self.check(src);
+        self.check(dst);
+        if src == dst {
+            return None;
+        }
+        let n = self.num_nodes;
+        let cw = (dst.index() + n - src.index()) % n;
+        if cw <= n - cw {
+            Some(Direction::Clockwise)
+        } else {
+            Some(Direction::CounterClockwise)
+        }
+    }
+}
+
+impl RoutingAlgorithm for RingShortestPath {
+    fn next_hop(&self, current: NodeId, dest: NodeId) -> Direction {
+        self.ring_direction(current, dest)
+            .unwrap_or(Direction::Local)
+    }
+
+    fn num_vcs_required(&self) -> usize {
+        2
+    }
+
+    fn vc_for_hop(
+        &self,
+        current: NodeId,
+        _dest: NodeId,
+        dir: Direction,
+        current_vc: usize,
+    ) -> usize {
+        dateline_vc(self.num_nodes, current, dir, current_vc)
+    }
+
+    fn label(&self) -> String {
+        "ring-shortest".to_owned()
+    }
+}
+
+/// Dateline VC selection shared by ring and Spidergon routing: switch to
+/// VC 1 when traversing the wrap-around edge of a ring direction, keep
+/// the current VC otherwise.
+///
+/// The wrap-around (dateline) edges are `N-1 -> 0` clockwise and
+/// `0 -> N-1` counterclockwise.
+pub(crate) fn dateline_vc(
+    num_nodes: usize,
+    current: NodeId,
+    dir: Direction,
+    current_vc: usize,
+) -> usize {
+    match dir {
+        Direction::Clockwise if current.index() == num_nodes - 1 => 1,
+        Direction::CounterClockwise if current.index() == 0 => 1,
+        _ => current_vc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algo(n: usize) -> RingShortestPath {
+        RingShortestPath::new(&Ring::new(n).unwrap())
+    }
+
+    #[test]
+    fn shortest_direction_chosen() {
+        let a = algo(10);
+        assert_eq!(
+            a.next_hop(NodeId::new(1), NodeId::new(4)),
+            Direction::Clockwise
+        );
+        assert_eq!(
+            a.next_hop(NodeId::new(1), NodeId::new(8)),
+            Direction::CounterClockwise
+        );
+    }
+
+    #[test]
+    fn equidistant_tie_broken_clockwise() {
+        let a = algo(8);
+        assert_eq!(
+            a.next_hop(NodeId::new(0), NodeId::new(4)),
+            Direction::Clockwise
+        );
+        assert_eq!(
+            a.next_hop(NodeId::new(6), NodeId::new(2)),
+            Direction::Clockwise
+        );
+    }
+
+    #[test]
+    fn destination_reached_returns_local() {
+        let a = algo(5);
+        for v in 0..5 {
+            assert_eq!(a.next_hop(NodeId::new(v), NodeId::new(v)), Direction::Local);
+        }
+    }
+
+    #[test]
+    fn dateline_switches_vc_on_wrap_edge_only() {
+        let a = algo(6);
+        // Clockwise wrap 5 -> 0 switches to VC 1.
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(5), NodeId::new(2), Direction::Clockwise, 0),
+            1
+        );
+        // Other clockwise hops keep the VC.
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(2), NodeId::new(4), Direction::Clockwise, 0),
+            0
+        );
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(2), NodeId::new(4), Direction::Clockwise, 1),
+            1
+        );
+        // Counterclockwise wrap 0 -> 5 switches.
+        assert_eq!(
+            a.vc_for_hop(
+                NodeId::new(0),
+                NodeId::new(4),
+                Direction::CounterClockwise,
+                0
+            ),
+            1
+        );
+        assert_eq!(
+            a.vc_for_hop(
+                NodeId::new(3),
+                NodeId::new(1),
+                Direction::CounterClockwise,
+                0
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn requires_two_vcs() {
+        assert_eq!(algo(4).num_vcs_required(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let a = algo(4);
+        let _ = a.next_hop(NodeId::new(4), NodeId::new(0));
+    }
+
+    #[test]
+    fn for_nodes_matches_new() {
+        assert_eq!(RingShortestPath::for_nodes(9), algo(9));
+        assert_eq!(algo(9).num_nodes(), 9);
+    }
+}

@@ -1,0 +1,451 @@
+//! The Spidergon **Across-First** routing scheme (paper Section 2).
+
+use crate::ring_routing::dateline_vc;
+use crate::RoutingAlgorithm;
+use noc_topology::{Direction, NodeId, Spidergon, Topology};
+
+/// Across-First routing on the Spidergon.
+///
+/// From the paper: *"first, if the target node for a packet is at
+/// distance `D > N/4` on the external ring (that is, in the opposite
+/// half of the Spidergon external ring) then the across link is
+/// traversed first, to reach the opposite node. Second, clockwise or
+/// counterclockwise direction is taken and maintained, depending on the
+/// target's position."*
+///
+/// The scheme is stateless: after the across hop the remaining ring
+/// distance is `N/2 - D < N/4`, so the across predicate can never fire
+/// again and the ring direction is maintained. Across-First is
+/// shortest-path (validated against BFS in tests and in
+/// [`crate::validate`]).
+///
+/// Virtual channels: ring hops use the same dateline scheme as
+/// [`crate::RingShortestPath`] (VC 0 until the wrap-around edge, then
+/// VC 1); the across hop — only ever taken as the first hop — resets to
+/// VC 0. Across channels receive traffic only from injection queues, so
+/// they cannot participate in a channel-dependency cycle (verified in
+/// [`crate::cdg`] tests).
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{RoutingAlgorithm, SpidergonAcrossFirst};
+/// use noc_topology::{Direction, NodeId, Spidergon};
+///
+/// let algo = SpidergonAcrossFirst::new(&Spidergon::new(12)?);
+/// // Ring distance 5 > 12/4: take the across link first.
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(0), NodeId::new(5)),
+///     Direction::Across,
+/// );
+/// // Then finish along the ring from the opposite node (6).
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(6), NodeId::new(5)),
+///     Direction::CounterClockwise,
+/// );
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpidergonAcrossFirst {
+    num_nodes: usize,
+}
+
+impl SpidergonAcrossFirst {
+    /// Creates the routing function for a specific Spidergon.
+    pub fn new(spidergon: &Spidergon) -> Self {
+        SpidergonAcrossFirst {
+            num_nodes: spidergon.num_nodes(),
+        }
+    }
+
+    /// Creates the routing function for a Spidergon of `num_nodes`
+    /// nodes without constructing the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is odd or below 4.
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes >= 4 && num_nodes.is_multiple_of(2),
+            "spidergon requires an even node count >= 4"
+        );
+        SpidergonAcrossFirst { num_nodes }
+    }
+
+    /// Number of nodes of the Spidergon this algorithm routes on.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {node} out of range for spidergon of {} nodes",
+            self.num_nodes
+        );
+    }
+
+    /// Returns `true` if a packet at `current` for `dest` must take the
+    /// across link (ring distance strictly greater than `N/4`).
+    pub fn takes_across(&self, current: NodeId, dest: NodeId) -> bool {
+        self.check(current);
+        self.check(dest);
+        let n = self.num_nodes;
+        let cw = (dest.index() + n - current.index()) % n;
+        let ring_dist = cw.min(n - cw);
+        4 * ring_dist > n
+    }
+}
+
+impl RoutingAlgorithm for SpidergonAcrossFirst {
+    fn next_hop(&self, current: NodeId, dest: NodeId) -> Direction {
+        self.check(current);
+        self.check(dest);
+        if current == dest {
+            return Direction::Local;
+        }
+        if self.takes_across(current, dest) {
+            return Direction::Across;
+        }
+        let n = self.num_nodes;
+        let cw = (dest.index() + n - current.index()) % n;
+        if cw <= n - cw {
+            Direction::Clockwise
+        } else {
+            Direction::CounterClockwise
+        }
+    }
+
+    fn num_vcs_required(&self) -> usize {
+        2
+    }
+
+    fn vc_for_hop(
+        &self,
+        current: NodeId,
+        _dest: NodeId,
+        dir: Direction,
+        current_vc: usize,
+    ) -> usize {
+        if dir == Direction::Across {
+            0
+        } else {
+            dateline_vc(self.num_nodes, current, dir, current_vc)
+        }
+    }
+
+    fn label(&self) -> String {
+        "across-first".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Spidergon;
+
+    fn algo(n: usize) -> SpidergonAcrossFirst {
+        SpidergonAcrossFirst::new(&Spidergon::new(n).unwrap())
+    }
+
+    #[test]
+    fn near_targets_go_direct() {
+        let a = algo(12);
+        assert_eq!(
+            a.next_hop(NodeId::new(0), NodeId::new(2)),
+            Direction::Clockwise
+        );
+        assert_eq!(
+            a.next_hop(NodeId::new(0), NodeId::new(10)),
+            Direction::CounterClockwise
+        );
+        assert_eq!(
+            a.next_hop(NodeId::new(0), NodeId::new(3)),
+            Direction::Clockwise,
+            "distance exactly N/4 stays on the ring"
+        );
+    }
+
+    #[test]
+    fn far_targets_take_across_first() {
+        let a = algo(12);
+        for far in [4usize, 5, 6, 7, 8] {
+            assert_eq!(
+                a.next_hop(NodeId::new(0), NodeId::new(far)),
+                Direction::Across,
+                "target {far}"
+            );
+        }
+    }
+
+    #[test]
+    fn across_predicate_never_fires_after_across_hop() {
+        for n in (4..=40usize).step_by(2) {
+            let sg = Spidergon::new(n).unwrap();
+            let a = algo(n);
+            for src in sg.node_ids() {
+                for dst in sg.node_ids() {
+                    if a.takes_across(src, dst) {
+                        let opposite = sg.opposite(src);
+                        assert!(!a.takes_across(opposite, dst), "n={n} src={src} dst={dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_paths() {
+        for n in [4usize, 6, 8, 10, 12, 16, 22] {
+            let sg = Spidergon::new(n).unwrap();
+            let a = algo(n);
+            let apd = sg.graph().all_pairs_distances();
+            for src in sg.node_ids() {
+                for dst in sg.node_ids() {
+                    // Walk the route and count hops.
+                    let mut at = src;
+                    let mut hops = 0u32;
+                    while at != dst {
+                        let dir = a.next_hop(at, dst);
+                        at = sg.neighbor(at, dir).expect("valid direction");
+                        hops += 1;
+                        assert!(hops as usize <= n, "route loops: n={n} src={src} dst={dst}");
+                    }
+                    assert_eq!(
+                        hops,
+                        apd.distance(src.index(), dst.index()),
+                        "n={n} src={src} dst={dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn across_hop_uses_vc_zero_ring_uses_dateline() {
+        let a = algo(8);
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(0), NodeId::new(4), Direction::Across, 1),
+            0
+        );
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(7), NodeId::new(1), Direction::Clockwise, 0),
+            1
+        );
+        assert_eq!(
+            a.vc_for_hop(NodeId::new(3), NodeId::new(4), Direction::Clockwise, 0),
+            0
+        );
+    }
+
+    #[test]
+    fn destination_returns_local() {
+        let a = algo(6);
+        assert_eq!(a.next_hop(NodeId::new(2), NodeId::new(2)), Direction::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "even node count")]
+    fn for_nodes_rejects_odd() {
+        let _ = SpidergonAcrossFirst::for_nodes(7);
+    }
+}
+
+/// Across-Last routing on the Spidergon: the dual of
+/// [`SpidergonAcrossFirst`].
+///
+/// Far targets (ring distance `> N/4`) are reached by travelling along
+/// the ring towards the node *opposite* the destination and taking the
+/// across link as the **final** hop; near targets use the ring
+/// directly. Path lengths equal Across-First's (both are minimal), but
+/// the link usage differs: Across-First loads the across link of the
+/// *source*, Across-Last the across link of the *destination* — which
+/// changes how hot-spot pressure distributes over the network.
+///
+/// Virtual channels: ring hops use the dateline scheme; the across hop
+/// keeps the packet's current VC (it is the last hop, so it creates no
+/// further dependencies; verified deadlock-free in tests).
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{RoutingAlgorithm, SpidergonAcrossLast};
+/// use noc_topology::{Direction, NodeId, Spidergon};
+///
+/// let algo = SpidergonAcrossLast::new(&Spidergon::new(12)?);
+/// // Ring distance 5 > 3: ride the ring to the opposite node (11),
+/// // then cross.
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(0), NodeId::new(5)),
+///     Direction::CounterClockwise,
+/// );
+/// assert_eq!(
+///     algo.next_hop(NodeId::new(11), NodeId::new(5)),
+///     Direction::Across,
+/// );
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpidergonAcrossLast {
+    num_nodes: usize,
+}
+
+impl SpidergonAcrossLast {
+    /// Creates the routing function for a specific Spidergon.
+    pub fn new(spidergon: &Spidergon) -> Self {
+        SpidergonAcrossLast {
+            num_nodes: spidergon.num_nodes(),
+        }
+    }
+
+    /// Creates the routing function for a Spidergon of `num_nodes`
+    /// nodes without constructing the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is odd or below 4.
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes >= 4 && num_nodes.is_multiple_of(2),
+            "spidergon requires an even node count >= 4"
+        );
+        SpidergonAcrossLast { num_nodes }
+    }
+
+    /// Number of nodes of the Spidergon this algorithm routes on.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {node} out of range for spidergon of {} nodes",
+            self.num_nodes
+        );
+    }
+
+    fn ring_distance(&self, a: usize, b: usize) -> usize {
+        let n = self.num_nodes;
+        let cw = (b + n - a) % n;
+        cw.min(n - cw)
+    }
+}
+
+impl RoutingAlgorithm for SpidergonAcrossLast {
+    fn next_hop(&self, current: NodeId, dest: NodeId) -> Direction {
+        self.check(current);
+        self.check(dest);
+        if current == dest {
+            return Direction::Local;
+        }
+        let n = self.num_nodes;
+        let direct = self.ring_distance(current.index(), dest.index());
+        if 4 * direct <= n {
+            // Near target: plain shortest ring direction.
+            let cw = (dest.index() + n - current.index()) % n;
+            return if cw <= n - cw {
+                Direction::Clockwise
+            } else {
+                Direction::CounterClockwise
+            };
+        }
+        // Far target: head for the node opposite the destination, then
+        // take the across link as the last hop.
+        let opposite = (dest.index() + n / 2) % n;
+        if current.index() == opposite {
+            return Direction::Across;
+        }
+        let cw = (opposite + n - current.index()) % n;
+        if cw <= n - cw {
+            Direction::Clockwise
+        } else {
+            Direction::CounterClockwise
+        }
+    }
+
+    fn num_vcs_required(&self) -> usize {
+        2
+    }
+
+    fn vc_for_hop(
+        &self,
+        current: NodeId,
+        _dest: NodeId,
+        dir: Direction,
+        current_vc: usize,
+    ) -> usize {
+        if dir == Direction::Across {
+            current_vc
+        } else {
+            dateline_vc(self.num_nodes, current, dir, current_vc)
+        }
+    }
+
+    fn label(&self) -> String {
+        "across-last".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod across_last_tests {
+    use super::*;
+    use crate::cdg::CdgAnalysis;
+    use crate::validate::validate_all_routes;
+    use noc_topology::Topology;
+
+    #[test]
+    fn across_last_is_minimal_everywhere() {
+        for n in [4usize, 6, 8, 10, 12, 16, 22] {
+            let sg = Spidergon::new(n).unwrap();
+            let algo = SpidergonAcrossLast::for_nodes(n);
+            let report = validate_all_routes(&algo, &sg).unwrap();
+            assert_eq!(report.non_minimal, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn across_last_is_deadlock_free_with_dateline() {
+        for n in (4..=20usize).step_by(2) {
+            let sg = Spidergon::new(n).unwrap();
+            let algo = SpidergonAcrossLast::for_nodes(n);
+            let analysis = CdgAnalysis::analyze(&algo, &sg);
+            assert!(analysis.is_deadlock_free(), "n={n}: {:?}", analysis.cycle());
+        }
+    }
+
+    #[test]
+    fn across_is_only_ever_the_final_hop() {
+        use crate::validate::walk_route;
+        let n = 16;
+        let sg = Spidergon::new(n).unwrap();
+        let algo = SpidergonAcrossLast::for_nodes(n);
+        for src in sg.node_ids() {
+            for dst in sg.node_ids() {
+                let route = walk_route(&algo, &sg, src, dst).unwrap();
+                let dirs = route.directions();
+                for (i, &d) in dirs.iter().enumerate() {
+                    if d == Direction::Across {
+                        assert_eq!(i, dirs.len() - 1, "{src}->{dst}: across mid-route");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirrors_across_first_path_lengths() {
+        use crate::validate::walk_route;
+        let n = 12;
+        let sg = Spidergon::new(n).unwrap();
+        let first = SpidergonAcrossFirst::for_nodes(n);
+        let last = SpidergonAcrossLast::for_nodes(n);
+        for src in sg.node_ids() {
+            for dst in sg.node_ids() {
+                let a = walk_route(&first, &sg, src, dst).unwrap().len();
+                let b = walk_route(&last, &sg, src, dst).unwrap().len();
+                assert_eq!(a, b, "{src}->{dst}");
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Dimension-order routing on the 2D torus with per-dimension dateline
+//! virtual channels.
+
+use crate::RoutingAlgorithm;
+use noc_topology::{Direction, NodeId, Torus};
+
+/// Dimension-order (X then Y) routing on a torus, taking the shortest
+/// way around each ring dimension (ties broken East/South).
+///
+/// Wrap-around links close a channel-dependency ring in each dimension,
+/// so — like the paper's Ring — the torus needs the pair of output
+/// buffers: packets use **VC 0 before their wrap-around crossing and
+/// VC 1 after it** in the current travel dimension. The VC is derived
+/// from positions alone: travelling East, a packet that still has the
+/// destination ahead (`dest_col >= col`) has either already wrapped or
+/// never will, so it takes VC 1; a packet with `dest_col < col` is
+/// before its wrap and takes VC 0. VC 1 therefore never crosses the
+/// wrap edge and VC 0 dependency chains stop at it — both per-dimension
+/// rings are broken (proved by the [`crate::cdg`] tests).
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{RoutingAlgorithm, TorusXY};
+/// use noc_topology::{Direction, NodeId, Torus};
+///
+/// let torus = Torus::new(4, 4)?;
+/// let algo = TorusXY::new(&torus);
+/// // 0 -> 3 is one hop West around the wrap, not three hops East.
+/// assert_eq!(algo.next_hop(NodeId::new(0), NodeId::new(3)), Direction::West);
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TorusXY {
+    cols: usize,
+    rows: usize,
+}
+
+impl TorusXY {
+    /// Creates the routing function for a torus.
+    pub fn new(torus: &Torus) -> Self {
+        TorusXY {
+            cols: torus.cols(),
+            rows: torus.rows(),
+        }
+    }
+
+    /// Creates the routing function from raw extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is below 3.
+    pub fn for_grid(cols: usize, rows: usize) -> Self {
+        assert!(cols >= 3 && rows >= 3, "torus extents must be at least 3");
+        TorusXY { cols, rows }
+    }
+
+    /// Number of columns routed.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows routed.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(
+            node.index() < self.cols * self.rows,
+            "node {node} out of range for {}x{} torus",
+            self.cols,
+            self.rows
+        );
+        (node.index() % self.cols, node.index() / self.cols)
+    }
+
+    /// Shortest direction along a ring dimension of extent `len` from
+    /// `from` to `to` (`None` if equal); positive direction on ties.
+    fn ring_step(len: usize, from: usize, to: usize) -> Option<bool> {
+        // true = positive direction (East/South), false = negative.
+        if from == to {
+            return None;
+        }
+        let forward = (to + len - from) % len;
+        Some(forward <= len - forward)
+    }
+}
+
+impl RoutingAlgorithm for TorusXY {
+    fn next_hop(&self, current: NodeId, dest: NodeId) -> Direction {
+        let (cx, cy) = self.coords(current);
+        let (dx, dy) = self.coords(dest);
+        if let Some(positive) = Self::ring_step(self.cols, cx, dx) {
+            return if positive {
+                Direction::East
+            } else {
+                Direction::West
+            };
+        }
+        match Self::ring_step(self.rows, cy, dy) {
+            Some(true) => Direction::South,
+            Some(false) => Direction::North,
+            None => Direction::Local,
+        }
+    }
+
+    fn num_vcs_required(&self) -> usize {
+        2
+    }
+
+    fn vc_for_hop(
+        &self,
+        current: NodeId,
+        dest: NodeId,
+        dir: Direction,
+        current_vc: usize,
+    ) -> usize {
+        let _ = current_vc; // VC derives from position alone.
+        let (cx, cy) = self.coords(current);
+        let (dx, dy) = self.coords(dest);
+        match dir {
+            // "Destination ahead without wrapping" -> VC 1 (post-wrap or
+            // wrap-free); "destination behind" -> VC 0 (pre-wrap).
+            Direction::East => usize::from(dx >= cx),
+            Direction::West => usize::from(dx <= cx),
+            Direction::South => usize::from(dy >= cy),
+            Direction::North => usize::from(dy <= cy),
+            _ => 0,
+        }
+    }
+
+    fn label(&self) -> String {
+        "torus-xy-dateline".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::CdgAnalysis;
+    use crate::validate::validate_all_routes;
+    use noc_topology::Topology;
+
+    fn setup(m: usize, n: usize) -> (Torus, TorusXY) {
+        let t = Torus::new(m, n).unwrap();
+        let a = TorusXY::new(&t);
+        (t, a)
+    }
+
+    #[test]
+    fn shortest_way_around_each_dimension() {
+        let (_, a) = setup(5, 5);
+        // (0,0) -> (4,0): West (1 hop) beats East (4 hops).
+        assert_eq!(a.next_hop(NodeId::new(0), NodeId::new(4)), Direction::West);
+        // (0,0) -> (1,0): East.
+        assert_eq!(a.next_hop(NodeId::new(0), NodeId::new(1)), Direction::East);
+        // X resolved first: (0,0) -> (1,4) goes East before North.
+        assert_eq!(a.next_hop(NodeId::new(0), NodeId::new(21)), Direction::East);
+        // Same column: (0,0) -> (0,4) is North (wrap, 1 hop).
+        assert_eq!(
+            a.next_hop(NodeId::new(0), NodeId::new(20)),
+            Direction::North
+        );
+    }
+
+    #[test]
+    fn even_extent_ties_break_positive() {
+        let (_, a) = setup(4, 4);
+        // Distance 2 both ways: East wins.
+        assert_eq!(a.next_hop(NodeId::new(0), NodeId::new(2)), Direction::East);
+        // Row tie: South wins.
+        assert_eq!(a.next_hop(NodeId::new(0), NodeId::new(8)), Direction::South);
+    }
+
+    #[test]
+    fn routes_are_minimal_on_many_tori() {
+        for (m, n) in [(3usize, 3usize), (4, 4), (5, 3), (4, 6), (5, 5)] {
+            let (t, a) = setup(m, n);
+            let report = validate_all_routes(&a, &t).unwrap();
+            assert_eq!(report.non_minimal, 0, "{m}x{n}");
+            assert!(report.max_vc <= 1, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn dateline_vcs_make_torus_deadlock_free() {
+        for (m, n) in [(3usize, 3usize), (4, 4), (5, 3), (4, 6)] {
+            let (t, a) = setup(m, n);
+            let analysis = CdgAnalysis::analyze(&a, &t);
+            assert!(
+                analysis.is_deadlock_free(),
+                "{m}x{n}: {:?}",
+                analysis.cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn single_vc_torus_has_dependency_cycles() {
+        let (t, a) = setup(4, 4);
+        let analysis = CdgAnalysis::analyze_single_vc(&a, &t);
+        assert!(!analysis.is_deadlock_free());
+    }
+
+    #[test]
+    fn vc_rule_keeps_vc1_off_the_wrap_edges() {
+        // VC 1 must never be selected for a hop that crosses the wrap.
+        for (m, n) in [(4usize, 4usize), (5, 3)] {
+            let (t, a) = setup(m, n);
+            for src in t.node_ids() {
+                for dst in t.node_ids() {
+                    let route = crate::validate::walk_route(&a, &t, src, dst).unwrap();
+                    for (from, dir, vc, _to) in route.hops() {
+                        let (cx, cy) = ((from.index() % m), (from.index() / m));
+                        let wraps = match dir {
+                            Direction::East => cx == m - 1,
+                            Direction::West => cx == 0,
+                            Direction::South => cy == n - 1,
+                            Direction::North => cy == 0,
+                            _ => false,
+                        };
+                        if wraps {
+                            assert_eq!(vc, 0, "{m}x{n} {src}->{dst} wrap on VC {vc}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_and_label() {
+        let a = TorusXY::for_grid(4, 5);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.label(), "torus-xy-dateline");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_grid_rejected() {
+        let _ = TorusXY::for_grid(2, 5);
+    }
+}

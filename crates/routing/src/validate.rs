@@ -1,0 +1,365 @@
+//! Route validation: walk every source/destination pair through a
+//! routing algorithm and check termination, port validity and (optional)
+//! minimality.
+
+use crate::{Route, RoutingAlgorithm};
+use core::fmt;
+use noc_topology::{Direction, NodeId, Topology};
+
+/// Error produced while walking a route.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// The algorithm returned a direction with no link at the node.
+    InvalidDirection {
+        /// Node at which the bad decision was made.
+        node: NodeId,
+        /// The direction that has no link there.
+        direction: Direction,
+    },
+    /// The route exceeded the hop budget (the algorithm loops).
+    HopBudgetExceeded {
+        /// Source of the walked route.
+        src: NodeId,
+        /// Destination of the walked route.
+        dst: NodeId,
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// The algorithm returned [`Direction::Local`] before reaching the
+    /// destination.
+    PrematureDelivery {
+        /// Node at which delivery was (wrongly) signalled.
+        node: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RouteError::InvalidDirection { node, direction } => {
+                write!(f, "no link in direction {direction} at node {node}")
+            }
+            RouteError::HopBudgetExceeded { src, dst, budget } => {
+                write!(f, "route {src} -> {dst} exceeded {budget} hops")
+            }
+            RouteError::PrematureDelivery { node, dst } => {
+                write!(f, "local delivery at {node} before destination {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Walks the route from `src` to `dst` by repeatedly applying `algo`,
+/// recording nodes, directions and virtual channels.
+///
+/// The hop budget is `4 * num_nodes + 4`, enough for any minimal or
+/// near-minimal deterministic scheme and small enough to catch loops
+/// quickly.
+///
+/// # Errors
+///
+/// Returns a [`RouteError`] if the algorithm leaves the topology, loops,
+/// or delivers prematurely.
+///
+/// # Examples
+///
+/// ```
+/// use noc_routing::{validate::walk_route, SpidergonAcrossFirst};
+/// use noc_topology::{NodeId, Spidergon};
+///
+/// let sg = Spidergon::new(12)?;
+/// let algo = SpidergonAcrossFirst::new(&sg);
+/// let route = walk_route(&algo, &sg, NodeId::new(0), NodeId::new(5))?;
+/// assert_eq!(route.len(), 2); // across + one ring hop
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn walk_route<A, T>(algo: &A, topo: &T, src: NodeId, dst: NodeId) -> Result<Route, RouteError>
+where
+    A: RoutingAlgorithm + ?Sized,
+    T: Topology + ?Sized,
+{
+    let budget = 4 * topo.num_nodes() + 4;
+    let mut nodes = vec![src];
+    let mut directions = Vec::new();
+    let mut vcs = Vec::new();
+    let mut at = src;
+    let mut vc = 0usize;
+    while at != dst {
+        if directions.len() >= budget {
+            return Err(RouteError::HopBudgetExceeded { src, dst, budget });
+        }
+        let dir = algo.next_hop(at, dst);
+        if dir == Direction::Local {
+            return Err(RouteError::PrematureDelivery { node: at, dst });
+        }
+        let next = topo.neighbor(at, dir).ok_or(RouteError::InvalidDirection {
+            node: at,
+            direction: dir,
+        })?;
+        vc = algo.vc_for_hop(at, dst, dir, vc);
+        directions.push(dir);
+        vcs.push(vc);
+        nodes.push(next);
+        at = next;
+    }
+    Ok(Route::new(nodes, directions, vcs))
+}
+
+/// Aggregate report from validating every ordered pair of nodes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ValidationReport {
+    /// Number of `(src, dst)` pairs walked (including `src == dst`).
+    pub pairs: usize,
+    /// Number of routes that were strictly longer than the shortest
+    /// path.
+    pub non_minimal: usize,
+    /// Total hops over all routes.
+    pub total_hops: u64,
+    /// Longest route encountered.
+    pub max_hops: usize,
+    /// Highest virtual channel index used by any hop.
+    pub max_vc: usize,
+}
+
+impl ValidationReport {
+    /// Mean route length over ordered pairs with `src != dst`.
+    pub fn mean_hops(&self, num_nodes: usize) -> f64 {
+        if num_nodes < 2 {
+            return 0.0;
+        }
+        self.total_hops as f64 / (num_nodes * (num_nodes - 1)) as f64
+    }
+}
+
+/// Walks every ordered pair through `algo` and reports route statistics.
+///
+/// # Errors
+///
+/// Returns the first [`RouteError`] encountered, if any.
+///
+/// # Panics
+///
+/// Panics if `topo` is disconnected.
+pub fn validate_all_routes<A, T>(algo: &A, topo: &T) -> Result<ValidationReport, RouteError>
+where
+    A: RoutingAlgorithm + ?Sized,
+    T: Topology + ?Sized,
+{
+    let apd = topo.graph().all_pairs_distances();
+    let mut report = ValidationReport {
+        pairs: 0,
+        non_minimal: 0,
+        total_hops: 0,
+        max_hops: 0,
+        max_vc: 0,
+    };
+    for src in topo.node_ids() {
+        for dst in topo.node_ids() {
+            let route = walk_route(algo, topo, src, dst)?;
+            report.pairs += 1;
+            report.total_hops += route.len() as u64;
+            report.max_hops = report.max_hops.max(route.len());
+            report.max_vc = report
+                .max_vc
+                .max(route.vcs().iter().copied().max().unwrap_or(0));
+            if route.len() as u32 > apd.distance(src.index(), dst.index()) {
+                report.non_minimal += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Verifies that every candidate of an (adaptive) routing algorithm
+/// makes progress: each candidate direction leads to a node strictly
+/// one hop closer to the destination. This implies that *every*
+/// adaptive resolution of the algorithm terminates and is minimal.
+///
+/// # Errors
+///
+/// Returns [`RouteError::InvalidDirection`] if a candidate has no link,
+/// [`RouteError::PrematureDelivery`] if `Local` is offered away from
+/// the destination, and [`RouteError::HopBudgetExceeded`] (with a zero
+/// budget) for a candidate that fails to make progress — such a
+/// candidate could be chosen forever.
+///
+/// # Panics
+///
+/// Panics if `topo` is disconnected.
+pub fn validate_all_candidates<A, T>(algo: &A, topo: &T) -> Result<(), RouteError>
+where
+    A: RoutingAlgorithm + ?Sized,
+    T: Topology + ?Sized,
+{
+    let apd = topo.graph().all_pairs_distances();
+    for dst in topo.node_ids() {
+        for current in topo.node_ids() {
+            if current == dst {
+                continue;
+            }
+            // The documented contract: the preferred candidate is the
+            // deterministic next hop.
+            let candidates = algo.candidates(current, dst);
+            if candidates.first() != Some(&algo.next_hop(current, dst)) {
+                return Err(RouteError::InvalidDirection {
+                    node: current,
+                    direction: algo.next_hop(current, dst),
+                });
+            }
+            for dir in candidates {
+                if dir == Direction::Local {
+                    return Err(RouteError::PrematureDelivery { node: current, dst });
+                }
+                let next = topo
+                    .neighbor(current, dir)
+                    .ok_or(RouteError::InvalidDirection {
+                        node: current,
+                        direction: dir,
+                    })?;
+                let here = apd.distance(current.index(), dst.index());
+                let there = apd.distance(next.index(), dst.index());
+                if there + 1 != here {
+                    return Err(RouteError::HopBudgetExceeded {
+                        src: current,
+                        dst,
+                        budget: 0,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeshXY, RingShortestPath, SpidergonAcrossFirst, TableRouting};
+    use noc_topology::{IrregularMesh, RectMesh, Ring, Spidergon};
+
+    #[test]
+    fn all_paper_algorithms_are_minimal() {
+        let ring = Ring::new(11).unwrap();
+        let r = validate_all_routes(&RingShortestPath::new(&ring), &ring).unwrap();
+        assert_eq!(r.non_minimal, 0);
+        assert_eq!(r.max_vc, 1, "dateline uses VC 1 on wrapping routes");
+
+        let sg = Spidergon::new(16).unwrap();
+        let r = validate_all_routes(&SpidergonAcrossFirst::new(&sg), &sg).unwrap();
+        assert_eq!(r.non_minimal, 0);
+
+        let mesh = RectMesh::new(4, 6).unwrap();
+        let r = validate_all_routes(&MeshXY::new(&mesh), &mesh).unwrap();
+        assert_eq!(r.non_minimal, 0);
+        assert_eq!(r.max_vc, 0, "XY never leaves VC 0");
+
+        let irr = IrregularMesh::new(4, 13).unwrap();
+        let r = validate_all_routes(&MeshXY::new_irregular(&irr), &irr).unwrap();
+        assert_eq!(r.non_minimal, 0);
+
+        let r = validate_all_routes(&TableRouting::from_topology(&irr), &irr).unwrap();
+        assert_eq!(r.non_minimal, 0);
+    }
+
+    #[test]
+    fn mean_hops_matches_topology_average_distance() {
+        let sg = Spidergon::new(12).unwrap();
+        let report = validate_all_routes(&SpidergonAcrossFirst::new(&sg), &sg).unwrap();
+        let expected = noc_topology::metrics::average_distance(&sg);
+        assert!((report.mean_hops(12) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_hops_equals_diameter_for_minimal_routing() {
+        let ring = Ring::new(10).unwrap();
+        let report = validate_all_routes(&RingShortestPath::new(&ring), &ring).unwrap();
+        assert_eq!(report.max_hops, 5);
+    }
+
+    #[test]
+    fn looping_algorithm_is_caught() {
+        #[derive(Debug)]
+        struct AlwaysClockwise;
+        impl RoutingAlgorithm for AlwaysClockwise {
+            fn next_hop(&self, _c: NodeId, _d: NodeId) -> Direction {
+                Direction::Clockwise
+            }
+            fn label(&self) -> String {
+                "always-cw".into()
+            }
+        }
+        let ring = Ring::new(6).unwrap();
+        // 0 -> 0 terminates immediately, but 0 -> anything unreachable by
+        // termination check loops... actually clockwise always reaches
+        // the target eventually; use a self-loop-free failing case:
+        // routing to the node itself from elsewhere works, so craft a
+        // true loop with an algorithm that bounces between two nodes.
+        #[derive(Debug)]
+        struct Bouncer;
+        impl RoutingAlgorithm for Bouncer {
+            fn next_hop(&self, c: NodeId, _d: NodeId) -> Direction {
+                if c.index().is_multiple_of(2) {
+                    Direction::Clockwise
+                } else {
+                    Direction::CounterClockwise
+                }
+            }
+            fn label(&self) -> String {
+                "bouncer".into()
+            }
+        }
+        let err = walk_route(&Bouncer, &ring, NodeId::new(0), NodeId::new(3)).unwrap_err();
+        assert!(matches!(err, RouteError::HopBudgetExceeded { .. }));
+        // AlwaysClockwise is legal (non-minimal but terminating).
+        let route = walk_route(&AlwaysClockwise, &ring, NodeId::new(3), NodeId::new(1));
+        assert_eq!(route.unwrap().len(), 4);
+    }
+
+    #[test]
+    fn invalid_direction_is_caught() {
+        #[derive(Debug)]
+        struct GoNorth;
+        impl RoutingAlgorithm for GoNorth {
+            fn next_hop(&self, _c: NodeId, _d: NodeId) -> Direction {
+                Direction::North
+            }
+            fn label(&self) -> String {
+                "north".into()
+            }
+        }
+        let ring = Ring::new(4).unwrap();
+        let err = walk_route(&GoNorth, &ring, NodeId::new(0), NodeId::new(2)).unwrap_err();
+        assert!(matches!(err, RouteError::InvalidDirection { .. }));
+    }
+
+    #[test]
+    fn premature_delivery_is_caught() {
+        #[derive(Debug)]
+        struct InstantLocal;
+        impl RoutingAlgorithm for InstantLocal {
+            fn next_hop(&self, _c: NodeId, _d: NodeId) -> Direction {
+                Direction::Local
+            }
+            fn label(&self) -> String {
+                "instant".into()
+            }
+        }
+        let ring = Ring::new(4).unwrap();
+        let err = walk_route(&InstantLocal, &ring, NodeId::new(0), NodeId::new(2)).unwrap_err();
+        assert!(matches!(err, RouteError::PrematureDelivery { .. }));
+    }
+
+    #[test]
+    fn route_error_messages() {
+        let e = RouteError::HopBudgetExceeded {
+            src: NodeId::new(0),
+            dst: NodeId::new(3),
+            budget: 20,
+        };
+        assert!(e.to_string().contains("exceeded 20 hops"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests: every paper routing algorithm is minimal,
+//! terminating, and deadlock-free on arbitrary topology sizes.
+
+use noc_routing::{
+    cdg::CdgAnalysis, validate::validate_all_routes, MeshXY, RingShortestPath, RoutingAlgorithm,
+    SpidergonAcrossFirst, TableRouting,
+};
+use noc_topology::{IrregularMesh, RectMesh, Ring, Spidergon, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_routing_minimal_and_deadlock_free(n in 3usize..40) {
+        let ring = Ring::new(n).unwrap();
+        let algo = RingShortestPath::new(&ring);
+        let report = validate_all_routes(&algo, &ring).unwrap();
+        prop_assert_eq!(report.non_minimal, 0);
+        prop_assert!(report.max_vc < algo.num_vcs_required());
+        prop_assert!(CdgAnalysis::analyze(&algo, &ring).is_deadlock_free());
+    }
+
+    #[test]
+    fn spidergon_routing_minimal_and_deadlock_free(half in 2usize..20) {
+        let n = half * 2;
+        let sg = Spidergon::new(n).unwrap();
+        let algo = SpidergonAcrossFirst::new(&sg);
+        let report = validate_all_routes(&algo, &sg).unwrap();
+        prop_assert_eq!(report.non_minimal, 0);
+        prop_assert!(report.max_vc < algo.num_vcs_required());
+        prop_assert!(CdgAnalysis::analyze(&algo, &sg).is_deadlock_free());
+    }
+
+    #[test]
+    fn mesh_xy_minimal_and_deadlock_free(m in 1usize..7, n in 2usize..7) {
+        let mesh = RectMesh::new(m, n).unwrap();
+        let algo = MeshXY::new(&mesh);
+        let report = validate_all_routes(&algo, &mesh).unwrap();
+        prop_assert_eq!(report.non_minimal, 0);
+        prop_assert_eq!(report.max_vc, 0);
+        prop_assert!(CdgAnalysis::analyze(&algo, &mesh).is_deadlock_free());
+    }
+
+    #[test]
+    fn irregular_xy_minimal_and_deadlock_free(cols in 2usize..7, extra in 1usize..20) {
+        let mesh = IrregularMesh::new(cols, cols + extra).unwrap();
+        let algo = MeshXY::new_irregular(&mesh);
+        let report = validate_all_routes(&algo, &mesh).unwrap();
+        prop_assert_eq!(report.non_minimal, 0);
+        prop_assert!(CdgAnalysis::analyze(&algo, &mesh).is_deadlock_free());
+    }
+
+    #[test]
+    fn ring_without_second_vc_always_deadlocks(n in 4usize..24) {
+        let ring = Ring::new(n).unwrap();
+        let algo = RingShortestPath::new(&ring);
+        prop_assert!(!CdgAnalysis::analyze_single_vc(&algo, &ring).is_deadlock_free());
+    }
+
+    #[test]
+    fn table_routing_is_minimal_everywhere(pick in 0usize..4, size in 4usize..20) {
+        let topo: Box<dyn Topology> = match pick {
+            0 => Box::new(Ring::new(size.max(3)).unwrap()),
+            1 => Box::new(Spidergon::new(if size % 2 == 0 { size } else { size + 1 }).unwrap()),
+            2 => Box::new(RectMesh::balanced(size.max(2)).unwrap()),
+            _ => Box::new(IrregularMesh::realistic(size.max(2)).unwrap()),
+        };
+        let algo = TableRouting::from_topology(topo.as_ref());
+        let report = validate_all_routes(&algo, topo.as_ref()).unwrap();
+        prop_assert_eq!(report.non_minimal, 0);
+    }
+
+    #[test]
+    fn mesh_routes_respect_xy_order_on_full_meshes(m in 2usize..6, n in 2usize..6) {
+        use noc_routing::validate::walk_route;
+        use noc_topology::Direction;
+        let mesh = RectMesh::new(m, n).unwrap();
+        let algo = MeshXY::new(&mesh);
+        for src in mesh.node_ids() {
+            for dst in mesh.node_ids() {
+                let route = walk_route(&algo, &mesh, src, dst).unwrap();
+                // Once a Y move happens, no X move may follow.
+                let mut seen_y = false;
+                for &d in route.directions() {
+                    match d {
+                        Direction::North | Direction::South => seen_y = true,
+                        Direction::East | Direction::West => {
+                            prop_assert!(!seen_y, "X after Y in {src}->{dst}");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

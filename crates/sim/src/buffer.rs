@@ -1,0 +1,367 @@
+//! Router buffers: per-VC output queues with wormhole ownership, and
+//! one-flit input slots.
+//!
+//! The paper's node model (Figure 4): "Incoming links have a one-flit
+//! buffer, while outgoing links have a pair of output buffers (used both
+//! for virtual channel management and deadlock avoidance) in Ring and
+//! Spidergon topologies, and one single buffer in Mesh topologies. All
+//! output buffers may contain up to three flits."
+
+use crate::{Flit, PacketId};
+use std::collections::VecDeque;
+
+/// A bounded output queue for one virtual channel of one output port.
+///
+/// Wormhole switching forbids interleaving flits of different packets
+/// within a VC: the queue is *owned* by a packet from the moment its
+/// head flit enters until its tail flit enters. While owned, only flits
+/// of the owning packet may be pushed.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{Flit, OutputQueue, PacketId};
+/// use noc_topology::NodeId;
+///
+/// let mut q = OutputQueue::new(3);
+/// let flits = Flit::packet(PacketId::new(0), NodeId::new(0), NodeId::new(1), 6, 0);
+/// assert!(q.can_accept(&flits[0]));
+/// q.push(flits[0]);
+/// // Mid-packet, another packet's head is rejected.
+/// let other = Flit::packet(PacketId::new(1), NodeId::new(2), NodeId::new(1), 6, 0);
+/// assert!(!q.can_accept(&other[0]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OutputQueue {
+    flits: VecDeque<Flit>,
+    capacity: usize,
+    owner: Option<PacketId>,
+}
+
+impl OutputQueue {
+    /// Creates an empty queue holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "output buffers must hold at least one flit");
+        OutputQueue {
+            flits: VecDeque::with_capacity(capacity),
+            capacity,
+            owner: None,
+        }
+    }
+
+    /// Maximum number of flits the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of flits currently queued.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` if no flits are queued.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// The packet currently owning the queue tail for enqueueing, if
+    /// any.
+    pub fn owner(&self) -> Option<PacketId> {
+        self.owner
+    }
+
+    /// Returns `true` if `flit` may be pushed now: there is space, and
+    /// either the queue is unowned and `flit` is a head, or it is owned
+    /// by `flit`'s packet.
+    pub fn can_accept(&self, flit: &Flit) -> bool {
+        if self.flits.len() >= self.capacity {
+            return false;
+        }
+        match self.owner {
+            None => flit.kind.is_head(),
+            Some(owner) => owner == flit.packet && !flit.kind.is_head(),
+        }
+    }
+
+    /// Pushes a flit, updating ownership (head claims, tail releases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`can_accept`](Self::can_accept) is false for `flit` —
+    /// callers must check first; pushing blindly indicates a switch
+    /// allocation bug.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(
+            self.can_accept(&flit),
+            "queue cannot accept {flit} (owner {:?}, len {})",
+            self.owner,
+            self.flits.len()
+        );
+        if flit.kind.is_head() {
+            self.owner = Some(flit.packet);
+        }
+        if flit.kind.is_tail() {
+            self.owner = None;
+        }
+        self.flits.push_back(flit);
+    }
+
+    /// The flit at the queue head (next to traverse the link), if any.
+    pub fn front(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Removes and returns the queue-head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front()
+    }
+
+    /// Iterator over queued flits, head first.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter()
+    }
+}
+
+/// The input buffer of one virtual channel of one input port (one flit
+/// deep in the paper's node model, deeper for buffer-sizing ablations),
+/// together with the wormhole switching state for the packet currently
+/// traversing it.
+#[derive(Clone, Debug)]
+pub struct InputBuffer {
+    /// Buffered flits with the cycle from which each may leave (the
+    /// router pipeline delay counted from arrival).
+    flits: VecDeque<(Flit, u64)>,
+    capacity: usize,
+    /// Wormhole allocation for the in-flight packet: output port index
+    /// and VC selected by the head flit, followed by body/tail flits.
+    pub route: Option<SlotRoute>,
+}
+
+/// Allocation held by an input buffer for the packet currently in
+/// flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotRoute {
+    /// Index into the node's output-port table (the ejection port uses
+    /// a sentinel index chosen by the router).
+    pub out_port: usize,
+    /// Virtual channel on the output port.
+    pub out_vc: usize,
+    /// Packet the allocation belongs to (guards against stale state).
+    pub packet: PacketId,
+}
+
+impl InputBuffer {
+    /// Creates an empty input buffer holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "input buffers must hold at least one flit");
+        InputBuffer {
+            flits: VecDeque::with_capacity(capacity),
+            capacity,
+            route: None,
+        }
+    }
+
+    /// Returns `true` if the buffer can receive a flit from the link —
+    /// the paper's signal-based flow control.
+    pub fn has_space(&self) -> bool {
+        self.flits.len() < self.capacity
+    }
+
+    /// Number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` if no flit is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Stores an arriving flit that becomes eligible for switch
+    /// allocation at cycle `eligible_at` (arrival cycle plus the router
+    /// pipeline delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — the sender must check
+    /// [`has_space`](Self::has_space) first.
+    pub fn receive(&mut self, flit: Flit, eligible_at: u64) {
+        assert!(self.has_space(), "input buffer overrun by {flit}");
+        self.flits.push_back((flit, eligible_at));
+    }
+
+    /// The oldest buffered flit if it has cleared the router pipeline
+    /// by cycle `now`.
+    pub fn front_ready(&self, now: u64) -> Option<&Flit> {
+        self.flits
+            .front()
+            .filter(|&&(_, at)| at <= now)
+            .map(|(f, _)| f)
+    }
+
+    /// Removes and returns the oldest buffered flit if ready at `now`.
+    pub fn take_ready(&mut self, now: u64) -> Option<Flit> {
+        if self.front_ready(now).is_some() {
+            self.flits.pop_front().map(|(f, _)| f)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::NodeId;
+
+    fn packet(id: u64, len: usize) -> Vec<Flit> {
+        Flit::packet(PacketId::new(id), NodeId::new(0), NodeId::new(1), len, 0)
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = OutputQueue::new(3);
+        let flits = packet(0, 6);
+        q.push(flits[0]);
+        q.push(flits[1]);
+        q.push(flits[2]);
+        assert!(!q.can_accept(&flits[3]));
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert!(q.can_accept(&flits[3]));
+    }
+
+    #[test]
+    fn ownership_lifecycle() {
+        let mut q = OutputQueue::new(8);
+        let a = packet(0, 3);
+        let b = packet(1, 3);
+        q.push(a[0]);
+        assert_eq!(q.owner(), Some(PacketId::new(0)));
+        assert!(!q.can_accept(&b[0]), "foreign head rejected mid-packet");
+        q.push(a[1]);
+        q.push(a[2]); // tail releases
+        assert_eq!(q.owner(), None);
+        assert!(q.can_accept(&b[0]), "new head accepted after tail");
+        q.push(b[0]);
+        assert_eq!(q.owner(), Some(PacketId::new(1)));
+    }
+
+    #[test]
+    fn body_without_head_rejected() {
+        let q = OutputQueue::new(3);
+        let a = packet(0, 3);
+        assert!(!q.can_accept(&a[1]), "body flit needs an owning head");
+    }
+
+    #[test]
+    fn single_flit_packet_claims_and_releases_at_once() {
+        let mut q = OutputQueue::new(3);
+        let a = packet(0, 1);
+        q.push(a[0]);
+        assert_eq!(q.owner(), None);
+        let b = packet(1, 1);
+        assert!(q.can_accept(&b[0]));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = OutputQueue::new(6);
+        let a = packet(0, 3);
+        for f in &a {
+            q.push(*f);
+        }
+        assert_eq!(q.front().unwrap().kind, a[0].kind);
+        let drained: Vec<Flit> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, a);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot accept")]
+    fn blind_push_panics() {
+        let mut q = OutputQueue::new(1);
+        let a = packet(0, 3);
+        q.push(a[0]);
+        q.push(a[1]); // full
+    }
+
+    #[test]
+    fn input_buffer_flow_control() {
+        let mut buf = InputBuffer::new(1);
+        assert!(buf.has_space());
+        assert!(buf.is_empty());
+        let a = packet(0, 2);
+        buf.receive(a[0], 0);
+        assert!(!buf.has_space());
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.front_ready(0), Some(&a[0]));
+        assert_eq!(buf.take_ready(0), Some(a[0]));
+        assert!(buf.has_space());
+        assert_eq!(buf.take_ready(0), None);
+    }
+
+    #[test]
+    fn pipeline_delay_gates_eligibility() {
+        let mut buf = InputBuffer::new(1);
+        let a = packet(0, 2);
+        buf.receive(a[0], 5);
+        assert_eq!(buf.front_ready(4), None, "not yet through the pipeline");
+        assert_eq!(buf.take_ready(4), None);
+        assert_eq!(buf.len(), 1, "flit still occupies the buffer");
+        assert_eq!(buf.front_ready(5), Some(&a[0]));
+        assert_eq!(buf.take_ready(5), Some(a[0]));
+    }
+
+    #[test]
+    fn deep_input_buffer_is_fifo() {
+        let mut buf = InputBuffer::new(3);
+        let a = packet(0, 3);
+        for f in &a {
+            buf.receive(*f, 0);
+        }
+        assert!(!buf.has_space());
+        let drained: Vec<Flit> = std::iter::from_fn(|| buf.take_ready(0)).collect();
+        assert_eq!(drained, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn input_buffer_overrun_panics() {
+        let mut buf = InputBuffer::new(1);
+        let a = packet(0, 2);
+        buf.receive(a[0], 0);
+        buf.receive(a[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_capacity_input_buffer_rejected() {
+        let _ = InputBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_capacity_rejected() {
+        let _ = OutputQueue::new(0);
+    }
+
+    #[test]
+    fn iter_matches_order() {
+        let mut q = OutputQueue::new(4);
+        let a = packet(0, 3);
+        for f in &a {
+            q.push(*f);
+        }
+        let kinds: Vec<_> = q.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds, a.iter().map(|f| f.kind).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,320 @@
+//! Simulation configuration.
+
+use crate::SimError;
+use noc_traffic::InjectionProcess;
+
+/// Configuration of one simulation run.
+///
+/// Defaults mirror the paper's setup: 6-flit packets, 1-flit input
+/// buffers, 3-flit output buffers, sink consumption of one flit per
+/// cycle, Poisson injection.
+///
+/// Build with [`SimConfig::builder`]:
+///
+/// ```
+/// use noc_sim::SimConfig;
+///
+/// let cfg = SimConfig::builder()
+///     .injection_rate(0.2)
+///     .warmup_cycles(1_000)
+///     .measure_cycles(10_000)
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(cfg.packet_len, 6);
+/// assert_eq!(cfg.output_buffer_capacity, 3);
+/// # Ok::<(), noc_sim::SimError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Missing fields in serialized configs (e.g. specs written before a
+// field existed) fall back to the paper defaults.
+#[cfg_attr(feature = "serde", serde(default))]
+#[non_exhaustive]
+pub struct SimConfig {
+    /// Packet length in flits (paper: 6).
+    pub packet_len: usize,
+    /// Per-source injection rate lambda in flits per cycle (paper's
+    /// x-axis).
+    pub injection_rate: f64,
+    /// Stochastic process for packet creation times.
+    pub injection_process: InjectionProcess,
+    /// Capacity of each input (one per port and VC) buffer in flits
+    /// (paper: 1).
+    pub input_buffer_capacity: usize,
+    /// Capacity of each output VC queue in flits (paper: 3).
+    pub output_buffer_capacity: usize,
+    /// Flits the sink consumes from the ejection queue per cycle
+    /// (paper: packets leave through the IP memory in FIFO order; 1
+    /// flit/cycle makes the destination the hot-spot bottleneck).
+    pub sink_rate: usize,
+    /// Cycles to run before statistics collection starts.
+    pub warmup_cycles: u64,
+    /// Cycles of the measurement window.
+    pub measure_cycles: u64,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Abort with [`SimError::Stalled`] if no flit moves for this many
+    /// consecutive cycles while flits are in flight (deadlock watchdog).
+    pub stall_threshold: u64,
+    /// Record a [`crate::Delivery`] for every packet consumed during
+    /// the measurement window (off by default; the log grows with the
+    /// packet count).
+    pub record_deliveries: bool,
+    /// Sampling window (cycles) for the throughput time series used by
+    /// [`crate::SimStats::throughput_ci`]; 0 disables sampling.
+    pub sample_interval: u64,
+    /// Router pipeline depth in cycles: a flit arriving in an input
+    /// buffer becomes eligible for switch allocation this many cycles
+    /// later (0 = the paper's single-stage router; 2-3 models the
+    /// classic RC/VA/SA/ST pipelines). With the paper's one-flit input
+    /// buffers there is no stage overlap, so per-link bandwidth drops
+    /// to `1/(1 + router_delay)` flits/cycle and zero-load latency
+    /// scales by about `1 + router_delay`; deepen
+    /// [`input_buffer_capacity`](Self::input_buffer_capacity) to model
+    /// overlapped pipelines.
+    pub router_delay: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration from the paper's defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
+    /// Average packets per cycle each source generates under this
+    /// configuration.
+    pub fn packets_per_cycle(&self) -> f64 {
+        self.injection_rate / self.packet_len as f64
+    }
+
+    /// Total simulated cycles (warmup plus measurement).
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+/// Builder for [`SimConfig`] (see there for field semantics).
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Creates a builder initialized with the paper's defaults.
+    pub fn new() -> Self {
+        SimConfigBuilder {
+            config: SimConfig {
+                packet_len: 6,
+                injection_rate: 0.1,
+                injection_process: InjectionProcess::Poisson,
+                input_buffer_capacity: 1,
+                output_buffer_capacity: 3,
+                sink_rate: 1,
+                warmup_cycles: 1_000,
+                measure_cycles: 10_000,
+                seed: 0xBAD5EED,
+                stall_threshold: 50_000,
+                record_deliveries: false,
+                sample_interval: 0,
+                router_delay: 0,
+            },
+        }
+    }
+
+    /// Sets the packet length in flits.
+    pub fn packet_len(&mut self, flits: usize) -> &mut Self {
+        self.config.packet_len = flits;
+        self
+    }
+
+    /// Sets the per-source injection rate in flits/cycle.
+    pub fn injection_rate(&mut self, lambda: f64) -> &mut Self {
+        self.config.injection_rate = lambda;
+        self
+    }
+
+    /// Sets the injection process.
+    pub fn injection_process(&mut self, process: InjectionProcess) -> &mut Self {
+        self.config.injection_process = process;
+        self
+    }
+
+    /// Sets the input buffer capacity in flits.
+    pub fn input_buffer_capacity(&mut self, flits: usize) -> &mut Self {
+        self.config.input_buffer_capacity = flits;
+        self
+    }
+
+    /// Sets the output VC queue capacity in flits.
+    pub fn output_buffer_capacity(&mut self, flits: usize) -> &mut Self {
+        self.config.output_buffer_capacity = flits;
+        self
+    }
+
+    /// Sets the sink consumption rate in flits/cycle.
+    pub fn sink_rate(&mut self, flits_per_cycle: usize) -> &mut Self {
+        self.config.sink_rate = flits_per_cycle;
+        self
+    }
+
+    /// Sets the warmup window length.
+    pub fn warmup_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.config.warmup_cycles = cycles;
+        self
+    }
+
+    /// Sets the measurement window length.
+    pub fn measure_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.config.measure_cycles = cycles;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the deadlock watchdog threshold.
+    pub fn stall_threshold(&mut self, cycles: u64) -> &mut Self {
+        self.config.stall_threshold = cycles;
+        self
+    }
+
+    /// Enables or disables the per-packet delivery log.
+    pub fn record_deliveries(&mut self, enabled: bool) -> &mut Self {
+        self.config.record_deliveries = enabled;
+        self
+    }
+
+    /// Sets the throughput sampling window in cycles (0 disables).
+    pub fn sample_interval(&mut self, cycles: u64) -> &mut Self {
+        self.config.sample_interval = cycles;
+        self
+    }
+
+    /// Sets the router pipeline depth in cycles.
+    pub fn router_delay(&mut self, cycles: u64) -> &mut Self {
+        self.config.router_delay = cycles;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any field is out of range
+    /// (zero packet length or buffer capacities, negative or non-finite
+    /// injection rate, empty measurement window, zero stall threshold).
+    pub fn build(&self) -> Result<SimConfig, SimError> {
+        let c = &self.config;
+        let reason = if c.packet_len == 0 {
+            Some("packet_len must be positive")
+        } else if !c.injection_rate.is_finite() || c.injection_rate < 0.0 {
+            Some("injection_rate must be finite and non-negative")
+        } else if c.input_buffer_capacity == 0 {
+            Some("input_buffer_capacity must be positive")
+        } else if c.output_buffer_capacity == 0 {
+            Some("output_buffer_capacity must be positive")
+        } else if c.sink_rate == 0 {
+            Some("sink_rate must be positive")
+        } else if c.measure_cycles == 0 {
+            Some("measure_cycles must be positive")
+        } else if c.stall_threshold == 0 {
+            Some("stall_threshold must be positive")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => Err(SimError::InvalidConfig {
+                reason: reason.to_owned(),
+            }),
+            None => Ok(self.config.clone()),
+        }
+    }
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.packet_len, 6);
+        assert_eq!(cfg.input_buffer_capacity, 1);
+        assert_eq!(cfg.output_buffer_capacity, 3);
+        assert_eq!(cfg.sink_rate, 1);
+        assert_eq!(cfg.injection_process, InjectionProcess::Poisson);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SimConfig::builder()
+            .packet_len(4)
+            .injection_rate(0.5)
+            .sink_rate(2)
+            .warmup_cycles(10)
+            .measure_cycles(20)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.packet_len, 4);
+        assert_eq!(cfg.total_cycles(), 30);
+        assert_eq!(cfg.seed, 99);
+        assert!((cfg.packets_per_cycle() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(SimConfig::builder().packet_len(0).build().is_err());
+        assert!(SimConfig::builder().injection_rate(-0.1).build().is_err());
+        assert!(SimConfig::builder()
+            .injection_rate(f64::NAN)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .input_buffer_capacity(0)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .output_buffer_capacity(0)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder().sink_rate(0).build().is_err());
+        assert!(SimConfig::builder().measure_cycles(0).build().is_err());
+        assert!(SimConfig::builder().stall_threshold(0).build().is_err());
+    }
+
+    #[test]
+    fn partial_json_configs_fill_defaults() {
+        // Specs written before a field existed must still parse.
+        let cfg: SimConfig =
+            serde_json::from_str(r#"{"injection_rate": 0.25, "seed": 9}"#).unwrap();
+        assert_eq!(cfg.injection_rate, 0.25);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.packet_len, 6);
+        assert_eq!(cfg.sample_interval, 0);
+        assert!(!cfg.record_deliveries);
+    }
+
+    #[test]
+    fn zero_rate_is_valid_silence() {
+        let cfg = SimConfig::builder().injection_rate(0.0).build().unwrap();
+        assert_eq!(cfg.packets_per_cycle(), 0.0);
+    }
+}

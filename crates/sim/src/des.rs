@@ -1,0 +1,271 @@
+//! A small discrete-event simulation kernel.
+//!
+//! The original study used OMNeT++, a general-purpose discrete-event
+//! engine; this module is our substitute. The NoC model itself advances
+//! in synchronous cycles (as OMNeT++ NoC models typically do via
+//! self-messages), but *asynchronous* happenings — packet arrivals drawn
+//! from a continuous Poisson process — are kept in a proper time-ordered
+//! event queue with deterministic FIFO tie-breaking.
+//!
+//! The kernel is deliberately generic (events are any payload type) and
+//! independently tested, so it can be reused outside the NoC model.
+
+use core::fmt;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in (possibly fractional) cycles.
+///
+/// Wraps an `f64` and provides a total order so it can live in a
+/// [`BinaryHeap`].
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::des::SimTime;
+///
+/// let a = SimTime::new(1.5);
+/// let b = SimTime::new(2.0);
+/// assert!(a < b);
+/// assert_eq!(a.as_f64(), 1.5);
+/// assert_eq!(b.cycle(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() || t == f64::INFINITY, "time must not be NaN");
+        assert!(t >= 0.0, "time must be non-negative");
+        SimTime(t)
+    }
+
+    /// Raw value in cycles.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The integer cycle this instant belongs to (`floor`).
+    pub fn cycle(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// This instant advanced by `delta` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is NaN or negative.
+    pub fn advanced(self, delta: f64) -> Self {
+        SimTime::new(self.0 + delta)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are never NaN by construction.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+/// An event queue: a time-ordered priority queue with deterministic
+/// FIFO ordering among simultaneous events.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::new(2.0), "second");
+/// q.schedule(SimTime::new(1.0), "first");
+/// q.schedule(SimTime::new(2.0), "third"); // same instant: FIFO
+///
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("first"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("third"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with
+        // lower sequence number winning ties (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time stamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event if it is strictly before
+    /// `deadline` — the idiom for draining all events belonging to the
+    /// current cycle.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? < deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_orders_and_floors() {
+        assert!(SimTime::new(1.0) < SimTime::new(1.5));
+        assert_eq!(SimTime::new(3.7).cycle(), 3);
+        assert_eq!(SimTime::ZERO.advanced(2.5).as_f64(), 2.5);
+        assert_eq!(SimTime::new(4.0).to_string(), "t=4");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, tag) in [(5.0, 'e'), (1.0, 'a'), (3.0, 'c'), (2.0, 'b'), (4.0, 'd')] {
+            q.schedule(SimTime::new(t), tag);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::new(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(0.25), "in-cycle-0");
+        q.schedule(SimTime::new(0.75), "also-cycle-0");
+        q.schedule(SimTime::new(1.5), "cycle-1");
+        let mut drained = Vec::new();
+        while let Some((_, e)) = q.pop_before(SimTime::new(1.0)) {
+            drained.push(e);
+        }
+        assert_eq!(drained, vec!["in-cycle-0", "also-cycle-0"]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::new(2.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+}

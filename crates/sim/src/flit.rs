@@ -1,0 +1,201 @@
+//! Flits and packets: the paper's data units.
+//!
+//! "In packet-based NoC communication each packet is split into data
+//! units called flits. The buffer queues for channels are defined as
+//! multiples of the flit data unit." Packets are constant-size (6 flits
+//! in the paper's simulations); the head flit is actively routed and
+//! the rest follow its wormhole path.
+
+use core::fmt;
+use noc_topology::NodeId;
+
+/// Unique identifier of a packet within one simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from a raw sequence number.
+    pub const fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// The raw sequence number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FlitKind {
+    /// First flit: carries routing information, opens the wormhole path.
+    Head,
+    /// Middle flit: passively switched along the established path.
+    Body,
+    /// Last flit: closes the path, releases allocations.
+    Tail,
+    /// A complete single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Returns `true` for flits that open a path (head or head-tail).
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Returns `true` for flits that close a path (tail or head-tail).
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control digit travelling through the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Source node of the packet.
+    pub src: NodeId,
+    /// Destination node of the packet.
+    pub dst: NodeId,
+    /// Cycle at which the packet was created at its source.
+    pub created: u64,
+}
+
+impl Flit {
+    /// Builds the flit sequence of one packet: `Head`, `len - 2` times
+    /// `Body`, `Tail` (or a single `HeadTail` for `len == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `src == dst`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_sim::{Flit, FlitKind, PacketId};
+    /// use noc_topology::NodeId;
+    ///
+    /// let flits = Flit::packet(PacketId::new(0), NodeId::new(1), NodeId::new(2), 6, 100);
+    /// assert_eq!(flits.len(), 6);
+    /// assert_eq!(flits[0].kind, FlitKind::Head);
+    /// assert!(flits[1..5].iter().all(|f| f.kind == FlitKind::Body));
+    /// assert_eq!(flits[5].kind, FlitKind::Tail);
+    /// ```
+    pub fn packet(
+        packet: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        len: usize,
+        created: u64,
+    ) -> Vec<Flit> {
+        assert!(len > 0, "packets must contain at least one flit");
+        assert_ne!(src, dst, "packet source must differ from destination");
+        let template = Flit {
+            packet,
+            kind: FlitKind::Body,
+            src,
+            dst,
+            created,
+        };
+        (0..len)
+            .map(|i| {
+                let kind = match (i, len) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, l) if i + 1 == l => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit { kind, ..template }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            FlitKind::Head => "H",
+            FlitKind::Body => "B",
+            FlitKind::Tail => "T",
+            FlitKind::HeadTail => "HT",
+        };
+        write!(f, "{}{}[{}->{}]", self.packet, k, self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_id_round_trip() {
+        assert_eq!(PacketId::new(7).raw(), 7);
+        assert_eq!(PacketId::new(7).to_string(), "p7");
+        assert!(PacketId::new(1) < PacketId::new(2));
+    }
+
+    #[test]
+    fn flit_kinds_classify() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn six_flit_packet_structure() {
+        let flits = Flit::packet(PacketId::new(3), NodeId::new(0), NodeId::new(5), 6, 42);
+        assert_eq!(flits.len(), 6);
+        assert!(flits.iter().all(|f| f.packet == PacketId::new(3)));
+        assert!(flits.iter().all(|f| f.created == 42));
+        assert_eq!(flits.iter().filter(|f| f.kind.is_head()).count(), 1);
+        assert_eq!(flits.iter().filter(|f| f.kind.is_tail()).count(), 1);
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let flits = Flit::packet(PacketId::new(0), NodeId::new(0), NodeId::new(1), 1, 0);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    fn two_flit_packet_is_head_then_tail() {
+        let flits = Flit::packet(PacketId::new(0), NodeId::new(0), NodeId::new(1), 2, 0);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_panics() {
+        let _ = Flit::packet(PacketId::new(0), NodeId::new(0), NodeId::new(1), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn self_addressed_packet_panics() {
+        let _ = Flit::packet(PacketId::new(0), NodeId::new(1), NodeId::new(1), 3, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let flits = Flit::packet(PacketId::new(9), NodeId::new(1), NodeId::new(4), 2, 0);
+        assert_eq!(flits[0].to_string(), "p9H[n1->n4]");
+        assert_eq!(flits[1].to_string(), "p9T[n1->n4]");
+    }
+}

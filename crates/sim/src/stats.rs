@@ -1,0 +1,583 @@
+//! Statistics collection: throughput, latency, utilization, backlog.
+//!
+//! The paper's performance indexes are NoC **throughput** (flits per
+//! cycle absorbed by destinations) and **latency** (packet creation to
+//! delivery), as functions of the injection rate, topology and node
+//! count. This module also records the auxiliary quantities needed to
+//! interpret them: acceptance ratio, source backlog (the saturation
+//! signal), link utilization and per-packet hop counts (Figure 5).
+
+use core::fmt;
+use noc_topology::{Direction, NodeId};
+
+/// Histogram-backed summary of packet latencies in cycles.
+///
+/// Latencies up to [`LatencyStats::HISTOGRAM_BINS`]` - 1` cycles are
+/// binned exactly; larger values share the overflow bin (percentiles
+/// then saturate, min/max/mean stay exact).
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for latency in [10, 20, 30, 40, 50] {
+///     stats.record(latency);
+/// }
+/// assert_eq!(stats.count(), 5);
+/// assert_eq!(stats.min(), Some(10));
+/// assert_eq!(stats.max(), Some(50));
+/// assert!((stats.mean().unwrap() - 30.0).abs() < 1e-12);
+/// assert_eq!(stats.percentile(50.0), Some(30));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    bins: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Number of exact histogram bins.
+    pub const HISTOGRAM_BINS: usize = 4096;
+
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            bins: vec![0; Self::HISTOGRAM_BINS],
+        }
+    }
+
+    /// Records one latency sample in cycles.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        let bin = (latency as usize).min(Self::HISTOGRAM_BINS - 1);
+        self.bins[bin] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean latency, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) from the histogram, `None`
+    /// if empty. Values beyond the last bin saturate to the bin edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (p / 100.0 * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (value, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return Some(value as u64);
+            }
+        }
+        Some((Self::HISTOGRAM_BINS - 1) as u64)
+    }
+
+    /// Merges another summary into this one (used to combine
+    /// replications).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
+}
+
+/// Flits carried by one unidirectional link during the measurement
+/// window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinkLoad {
+    /// Sending router.
+    pub from: NodeId,
+    /// Output direction of the link at the sender.
+    pub direction: Direction,
+    /// Flits that crossed the link during the window.
+    pub flits: u64,
+}
+
+/// Mean and half-width of a normal-approximation confidence interval
+/// over independent samples (e.g. per-window throughput or replicated
+/// runs). Returns `(mean, half_width)`; the half-width is 0 for fewer
+/// than two samples.
+///
+/// `z` is the standard-normal quantile: 1.96 for 95%, 2.58 for 99%.
+/// For the long windows used here the batch means are approximately
+/// independent and normal, the textbook output-analysis setup.
+///
+/// # Panics
+///
+/// Panics if `z` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::confidence_interval;
+///
+/// let (mean, hw) = confidence_interval(&[10.0, 12.0, 11.0, 9.0], 1.96);
+/// assert!((mean - 10.5).abs() < 1e-12);
+/// assert!(hw > 0.0 && hw < 2.0);
+/// ```
+pub fn confidence_interval(samples: &[f64], z: f64) -> (f64, f64) {
+    assert!(z > 0.0, "z quantile must be positive");
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, z * (var / n).sqrt())
+}
+
+/// The MSER (Marginal Standard Error Rule) truncation point of a time
+/// series: the prefix length `d` to discard so that the marginal
+/// standard error `s^2(d) / (n - d)` of the retained suffix is
+/// minimized. The standard data-driven warmup detector of simulation
+/// output analysis — run once with a long window and
+/// [`crate::SimConfig::sample_interval`] enabled, feed
+/// [`SimStats::throughput_samples`] here, and use the result (times the
+/// interval) as the warmup for production runs.
+///
+/// Candidate truncations are limited to the first half of the series
+/// (the usual MSER-5 guard against degenerate all-but-tail cuts).
+/// Returns 0 for series shorter than 4 samples.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::mser_truncation;
+///
+/// // A transient of low values, then a steady state around 10.
+/// let mut series = vec![0.0, 2.0, 5.0];
+/// series.extend(std::iter::repeat_n(10.0, 20));
+/// let cut = mser_truncation(&series);
+/// assert_eq!(cut, 3); // exactly the transient prefix
+/// ```
+pub fn mser_truncation(samples: &[f64]) -> usize {
+    let n = samples.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut best = (f64::INFINITY, 0usize);
+    for d in 0..=n / 2 {
+        let tail = &samples[d..];
+        let m = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / m;
+        let sse = tail.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+        let mser = sse / (m * m);
+        if mser < best.0 {
+            best = (mser, d);
+        }
+    }
+    best.1
+}
+
+/// Results of one simulation run, collected over the measurement
+/// window.
+#[derive(Clone, PartialEq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub struct SimStats {
+    /// Length of the measurement window in cycles.
+    pub measured_cycles: u64,
+    /// Number of nodes in the simulated network.
+    pub num_nodes: usize,
+    /// Number of source nodes in the traffic pattern.
+    pub num_sources: usize,
+    /// Packets created by sources during the window.
+    pub packets_generated: u64,
+    /// Flits created by sources during the window.
+    pub flits_generated: u64,
+    /// Flits that left source queues into the network during the
+    /// window.
+    pub flits_injected: u64,
+    /// Packets fully consumed by sinks during the window.
+    pub packets_delivered: u64,
+    /// Flits consumed by sinks during the window.
+    pub flits_delivered: u64,
+    /// Packet latency summary (creation to tail consumption).
+    pub latency: LatencyStats,
+    /// Total hops travelled by the head flits of delivered packets.
+    pub total_hops: u64,
+    /// Flits that crossed any inter-router link during the window.
+    pub link_traversals: u64,
+    /// Flits waiting in source queues when the run ended.
+    pub backlog_flits: u64,
+    /// Largest single-source queue length (in flits) seen at any cycle
+    /// end during the window.
+    pub max_source_backlog: u64,
+    /// Flits consumed per node during the window (destination load
+    /// map; hot spots show up as spikes).
+    pub per_node_delivered: Vec<u64>,
+    /// Packets generated per node during the window (source load map).
+    pub per_node_generated: Vec<u64>,
+    /// Flits carried per unidirectional link during the window (link
+    /// heat map; empty if the topology reported no links).
+    pub per_link: Vec<LinkLoad>,
+    /// Delivered flits per sampling window (see
+    /// [`crate::SimConfig::sample_interval`]); empty when sampling is
+    /// disabled.
+    pub throughput_samples: Vec<f64>,
+}
+
+impl SimStats {
+    /// Aggregate throughput in flits per cycle consumed by sinks.
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / self.measured_cycles as f64
+    }
+
+    /// Throughput normalized per node, in flits per cycle per node.
+    pub fn throughput_per_node(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        self.throughput_flits_per_cycle() / self.num_nodes as f64
+    }
+
+    /// Packets delivered per cycle.
+    pub fn packet_throughput(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        self.packets_delivered as f64 / self.measured_cycles as f64
+    }
+
+    /// Offered load actually generated, in flits per cycle (should track
+    /// `num_sources * lambda` below saturation).
+    pub fn offered_load(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        self.flits_generated as f64 / self.measured_cycles as f64
+    }
+
+    /// Fraction of generated flits the network accepted from the source
+    /// queues; below 1.0 the network is saturated.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.flits_generated == 0 {
+            return 1.0;
+        }
+        (self.flits_injected as f64 / self.flits_generated as f64).min(1.0)
+    }
+
+    /// Mean hops per delivered packet (Figure 5's simulated average
+    /// network distance).
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.packets_delivered > 0).then(|| self.total_hops as f64 / self.packets_delivered as f64)
+    }
+
+    /// The node that consumed the most flits during the window, with
+    /// its count (`None` if nothing was delivered).
+    pub fn busiest_sink(&self) -> Option<(usize, u64)> {
+        self.per_node_delivered
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, flits)| flits)
+            .filter(|&(_, flits)| flits > 0)
+    }
+
+    /// Coefficient of variation of per-node consumed flits (0 for a
+    /// perfectly balanced load, large under hot-spot traffic); `None`
+    /// when nothing was delivered.
+    pub fn sink_load_imbalance(&self) -> Option<f64> {
+        let n = self.per_node_delivered.len();
+        if n == 0 || self.flits_delivered == 0 {
+            return None;
+        }
+        let mean = self.flits_delivered as f64 / n as f64;
+        let var = self
+            .per_node_delivered
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        Some(var.sqrt() / mean)
+    }
+
+    /// The most loaded link, if any flit crossed a link.
+    pub fn hottest_link(&self) -> Option<LinkLoad> {
+        self.per_link
+            .iter()
+            .copied()
+            .max_by_key(|l| l.flits)
+            .filter(|l| l.flits > 0)
+    }
+
+    /// Batch-means confidence interval of the throughput samples:
+    /// `(mean flits/cycle, half-width)` at normal quantile `z`
+    /// (1.96 for 95%). Zero half-width when sampling was disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is not positive.
+    pub fn throughput_ci(&self, z: f64) -> (f64, f64) {
+        confidence_interval(&self.throughput_samples, z)
+    }
+
+    /// Mean link utilization: flits per cycle per unidirectional link,
+    /// given the topology's link count.
+    pub fn link_utilization(&self, num_links: usize) -> f64 {
+        if self.measured_cycles == 0 || num_links == 0 {
+            return 0.0;
+        }
+        self.link_traversals as f64 / (self.measured_cycles as f64 * num_links as f64)
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "throughput {:.4} flits/cycle, latency {} cycles (mean {:.1}), delivered {} packets in {} cycles",
+            self.throughput_flits_per_cycle(),
+            self.latency
+                .percentile(50.0)
+                .map_or_else(|| "-".to_owned(), |p| p.to_string()),
+            self.latency.mean().unwrap_or(0.0),
+            self.packets_delivered,
+            self.measured_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_latency_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(1.0), Some(1));
+        assert_eq!(s.percentile(50.0), Some(50));
+        assert_eq!(s.percentile(95.0), Some(95));
+        assert_eq!(s.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn overflow_bin_saturates_percentile_but_not_mean() {
+        let mut s = LatencyStats::new();
+        s.record(10_000_000);
+        assert_eq!(s.max(), Some(10_000_000));
+        assert_eq!(s.mean(), Some(10_000_000.0));
+        assert_eq!(
+            s.percentile(50.0),
+            Some((LatencyStats::HISTOGRAM_BINS - 1) as u64)
+        );
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        let mut b = LatencyStats::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+        assert_eq!(a.mean(), Some(15.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyStats::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&LatencyStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn zero_percentile_rejected() {
+        let s = LatencyStats::new();
+        let _ = s.percentile(0.0);
+    }
+
+    #[test]
+    fn throughput_and_ratios() {
+        let stats = SimStats {
+            measured_cycles: 1000,
+            num_nodes: 8,
+            num_sources: 7,
+            packets_generated: 100,
+            flits_generated: 600,
+            flits_injected: 540,
+            packets_delivered: 80,
+            flits_delivered: 480,
+            total_hops: 240,
+            link_traversals: 2000,
+            ..SimStats::default()
+        };
+        assert!((stats.throughput_flits_per_cycle() - 0.48).abs() < 1e-12);
+        assert!((stats.throughput_per_node() - 0.06).abs() < 1e-12);
+        assert!((stats.packet_throughput() - 0.08).abs() < 1e-12);
+        assert!((stats.offered_load() - 0.6).abs() < 1e-12);
+        assert!((stats.acceptance_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(stats.mean_hops(), Some(3.0));
+        assert!((stats.link_utilization(16) - 2000.0 / 16000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_stats_do_not_divide_by_zero() {
+        let stats = SimStats::default();
+        assert_eq!(stats.throughput_flits_per_cycle(), 0.0);
+        assert_eq!(stats.throughput_per_node(), 0.0);
+        assert_eq!(stats.acceptance_ratio(), 1.0);
+        assert_eq!(stats.mean_hops(), None);
+        assert_eq!(stats.link_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn mser_finds_the_transient_boundary() {
+        // Pure steady state: no truncation.
+        let steady = vec![5.0; 30];
+        assert_eq!(mser_truncation(&steady), 0);
+        // Obvious warmup ramp.
+        let mut series = vec![0.0, 1.0, 2.0, 3.0];
+        series.extend(std::iter::repeat_n(8.0, 24));
+        assert_eq!(mser_truncation(&series), 4);
+        // Short series: conservative zero.
+        assert_eq!(mser_truncation(&[1.0, 2.0]), 0);
+        // Truncation never exceeds half the series.
+        let mut late = vec![0.0; 20];
+        late.extend([9.0, 9.0]);
+        assert!(mser_truncation(&late) <= 11);
+    }
+
+    #[test]
+    fn confidence_interval_basics() {
+        assert_eq!(confidence_interval(&[], 1.96), (0.0, 0.0));
+        assert_eq!(confidence_interval(&[5.0], 1.96), (5.0, 0.0));
+        let (m, hw) = confidence_interval(&[1.0, 1.0, 1.0], 1.96);
+        assert_eq!((m, hw), (1.0, 0.0));
+        // Wider spread, wider interval.
+        let (_, hw_narrow) = confidence_interval(&[10.0, 10.1, 9.9, 10.0], 1.96);
+        let (_, hw_wide) = confidence_interval(&[5.0, 15.0, 2.0, 18.0], 1.96);
+        assert!(hw_wide > hw_narrow);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn confidence_interval_rejects_bad_z() {
+        let _ = confidence_interval(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn hottest_link_and_samples() {
+        let stats = SimStats {
+            per_link: vec![
+                LinkLoad {
+                    from: NodeId::new(0),
+                    direction: Direction::East,
+                    flits: 3,
+                },
+                LinkLoad {
+                    from: NodeId::new(1),
+                    direction: Direction::West,
+                    flits: 9,
+                },
+            ],
+            throughput_samples: vec![1.0, 2.0, 3.0],
+            ..SimStats::default()
+        };
+        assert_eq!(stats.hottest_link().unwrap().flits, 9);
+        let (m, hw) = stats.throughput_ci(1.96);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(hw > 0.0);
+        assert_eq!(SimStats::default().hottest_link(), None);
+    }
+
+    #[test]
+    fn per_node_maps_summarize_load() {
+        let stats = SimStats {
+            flits_delivered: 12,
+            per_node_delivered: vec![0, 12, 0, 0],
+            ..SimStats::default()
+        };
+        assert_eq!(stats.busiest_sink(), Some((1, 12)));
+        // All flits at one of four nodes: CV = sqrt(3) ~ 1.73.
+        let cv = stats.sink_load_imbalance().unwrap();
+        assert!((cv - 3f64.sqrt()).abs() < 1e-12);
+        let balanced = SimStats {
+            flits_delivered: 12,
+            per_node_delivered: vec![3, 3, 3, 3],
+            ..SimStats::default()
+        };
+        assert_eq!(balanced.sink_load_imbalance(), Some(0.0));
+        assert_eq!(SimStats::default().busiest_sink(), None);
+        assert_eq!(SimStats::default().sink_load_imbalance(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`TrafficPattern`] trait: who sends, who receives, and how
+//! destinations are drawn.
+
+use core::fmt;
+use noc_topology::NodeId;
+use rand::RngCore;
+
+/// A spatial traffic pattern over a network of `num_nodes` nodes.
+///
+/// A pattern designates which nodes act as packet sources, which may be
+/// addressed as destinations, and draws a destination for each packet.
+/// Patterns never return the source itself as a destination.
+///
+/// The trait is object-safe: the simulator holds patterns as
+/// `Box<dyn TrafficPattern>` and hands them an RNG as `&mut dyn RngCore`.
+pub trait TrafficPattern: fmt::Debug {
+    /// Number of nodes the pattern is defined over.
+    fn num_nodes(&self) -> usize;
+
+    /// Returns `true` if `node` generates packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn is_source(&self, node: NodeId) -> bool;
+
+    /// Returns `true` if `node` may be addressed as a destination (used
+    /// by statistics to identify consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn is_destination(&self, node: NodeId) -> bool;
+
+    /// Draws the destination for a packet generated at `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or is not a source of this
+    /// pattern.
+    fn pick_destination(&self, src: NodeId, rng: &mut dyn RngCore) -> NodeId;
+
+    /// Short human-readable name, e.g. `"uniform"` or `"hotspot(n3)"`.
+    fn label(&self) -> String;
+
+    /// All source nodes, in ascending order.
+    fn sources(&self) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .map(NodeId::new)
+            .filter(|&v| self.is_source(v))
+            .collect()
+    }
+
+    /// All destination nodes, in ascending order.
+    fn destinations(&self) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .map(NodeId::new)
+            .filter(|&v| self.is_destination(v))
+            .collect()
+    }
+}
+
+/// Checks the invariants every [`TrafficPattern`] must uphold by
+/// sampling destinations from every source.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first violation: a pattern
+/// with no sources, a sampled destination that is out of range, equal to
+/// the source, or not flagged by
+/// [`is_destination`](TrafficPattern::is_destination).
+pub fn check_pattern_invariants<P: TrafficPattern + ?Sized>(pattern: &P, rng: &mut dyn RngCore) {
+    let n = pattern.num_nodes();
+    assert!(n > 0, "pattern over zero nodes");
+    let sources = pattern.sources();
+    assert!(!sources.is_empty(), "pattern has no sources");
+    for &src in &sources {
+        for _ in 0..32 {
+            let dst = pattern.pick_destination(src, rng);
+            assert!(dst.index() < n, "destination {dst} out of range");
+            assert_ne!(dst, src, "destination equals source {src}");
+            assert!(
+                pattern.is_destination(dst),
+                "{dst} drawn but not flagged as destination"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Minimal pattern for exercising the provided methods.
+    #[derive(Debug)]
+    struct RoundRobin {
+        n: usize,
+    }
+
+    impl TrafficPattern for RoundRobin {
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+        fn is_source(&self, node: NodeId) -> bool {
+            assert!(node.index() < self.n);
+            true
+        }
+        fn is_destination(&self, node: NodeId) -> bool {
+            assert!(node.index() < self.n);
+            true
+        }
+        fn pick_destination(&self, src: NodeId, _rng: &mut dyn RngCore) -> NodeId {
+            NodeId::new((src.index() + 1) % self.n)
+        }
+        fn label(&self) -> String {
+            "round-robin".into()
+        }
+    }
+
+    #[test]
+    fn provided_methods_enumerate_all_nodes() {
+        let p = RoundRobin { n: 4 };
+        assert_eq!(p.sources().len(), 4);
+        assert_eq!(p.destinations().len(), 4);
+    }
+
+    #[test]
+    fn invariant_checker_accepts_valid_pattern() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        check_pattern_invariants(&RoundRobin { n: 5 }, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination equals source")]
+    fn invariant_checker_rejects_self_destination() {
+        #[derive(Debug)]
+        struct SelfLoop;
+        impl TrafficPattern for SelfLoop {
+            fn num_nodes(&self) -> usize {
+                2
+            }
+            fn is_source(&self, _n: NodeId) -> bool {
+                true
+            }
+            fn is_destination(&self, _n: NodeId) -> bool {
+                true
+            }
+            fn pick_destination(&self, src: NodeId, _rng: &mut dyn RngCore) -> NodeId {
+                src
+            }
+            fn label(&self) -> String {
+                "self-loop".into()
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        check_pattern_invariants(&SelfLoop, &mut rng);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate one Spidergon NoC under uniform traffic and
+//! print the headline statistics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spidergon_noc::sim::SimConfig;
+use spidergon_noc::{Experiment, TopologySpec, TrafficSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-node Spidergon with the paper's defaults: 6-flit packets,
+    // Poisson sources, 1-flit input buffers, 3-flit output buffers,
+    // a pair of virtual channels with dateline deadlock avoidance.
+    let experiment = Experiment {
+        topology: TopologySpec::Spidergon { nodes: 16 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(0.2) // lambda, flits/cycle per source
+            .warmup_cycles(1_000)
+            .measure_cycles(10_000)
+            .seed(42)
+            .build()?,
+    };
+
+    let result = experiment.run()?;
+    let stats = &result.stats;
+
+    println!("topology       : {}", result.topology_label);
+    println!("traffic        : {}", result.traffic_label);
+    println!(
+        "injection rate : {} flits/cycle/source",
+        result.injection_rate
+    );
+    println!();
+    println!(
+        "throughput     : {:.4} flits/cycle ({:.4} per node)",
+        stats.throughput_flits_per_cycle(),
+        stats.throughput_per_node()
+    );
+    println!(
+        "latency        : mean {:.1} cycles, p50 {} / p95 {} / max {}",
+        stats.latency.mean().unwrap_or(f64::NAN),
+        stats.latency.percentile(50.0).unwrap_or(0),
+        stats.latency.percentile(95.0).unwrap_or(0),
+        stats.latency.max().unwrap_or(0),
+    );
+    println!(
+        "delivered      : {} packets ({} flits) in {} cycles",
+        stats.packets_delivered, stats.flits_delivered, stats.measured_cycles
+    );
+    println!(
+        "mean hops      : {:.3}",
+        stats.mean_hops().unwrap_or(f64::NAN)
+    );
+    println!("acceptance     : {:.3}", stats.acceptance_ratio());
+    Ok(())
+}

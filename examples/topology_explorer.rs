@@ -1,0 +1,75 @@
+//! Analytical topology exploration: diameter, average distance, link
+//! counts and degrees for every family at a chosen node count —
+//! the data behind the paper's Figures 2-3 and its Section 2 table.
+//!
+//! Run with an optional node count (default 24):
+//!
+//! ```text
+//! cargo run --example topology_explorer -- 40
+//! ```
+
+use spidergon_noc::topology::{
+    analytical, metrics::TopologyMetrics, IrregularMesh, RectMesh, Ring, Spidergon, Topology,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(24);
+    if n < 4 {
+        return Err("node count must be at least 4".into());
+    }
+
+    println!("topology metrics for N = {n} (links are unidirectional)");
+    println!();
+    println!(
+        "{:>22}  {:>4}  {:>6}  {:>4}  {:>8}  {:>8}",
+        "topology", "N", "links", "ND", "E[D]", "degree"
+    );
+
+    let mut topos: Vec<Box<dyn Topology>> = vec![Box::new(Ring::new(n)?)];
+    if n.is_multiple_of(2) {
+        topos.push(Box::new(Spidergon::new(n)?));
+    }
+    topos.push(Box::new(RectMesh::balanced(n)?));
+    topos.push(Box::new(IrregularMesh::realistic(n)?));
+
+    for topo in &topos {
+        let m = TopologyMetrics::compute(topo.as_ref());
+        let degree = if m.min_degree == m.max_degree {
+            format!("{}", m.min_degree)
+        } else {
+            format!("{}-{}", m.min_degree, m.max_degree)
+        };
+        println!(
+            "{:>22}  {:>4}  {:>6}  {:>4}  {:>8.3}  {:>8}",
+            m.label, m.num_nodes, m.num_links, m.diameter, m.mean_distance_paper, degree
+        );
+    }
+
+    println!();
+    println!("closed forms (paper section 2, Spidergon E[D] erratum corrected):");
+    println!(
+        "  ring      ND = floor(N/2) = {:>3}   E[D] ~ N/4      = {:.3}",
+        analytical::ring_diameter(n),
+        analytical::ring_average_distance(n)
+    );
+    if n.is_multiple_of(2) {
+        println!(
+            "  spidergon ND = ceil(N/4)  = {:>3}   E[D] (exact)   = {:.3}",
+            analytical::spidergon_diameter(n),
+            analytical::spidergon_average_distance(n)
+        );
+    }
+    let mesh = RectMesh::balanced(n)?;
+    println!(
+        "  mesh {:>2}x{:<2} ND = m+n-2   = {:>3}   E[D] ~ (m+n)/3 = {:.3}",
+        mesh.cols(),
+        mesh.rows(),
+        analytical::mesh_diameter(mesh.cols(), mesh.rows()),
+        analytical::mesh_average_distance_approx(mesh.cols(), mesh.rows())
+    );
+    Ok(())
+}

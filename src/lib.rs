@@ -1,0 +1,57 @@
+//! `spidergon-noc` — reproduction of Bononi & Concer, *"Simulation and
+//! Analysis of Network on Chip Architectures: Ring, Spidergon and 2D
+//! Mesh"* (DATE 2006), as a Rust workspace.
+//!
+//! This umbrella crate re-exports the full public API:
+//!
+//! * [`topology`] — Ring, Spidergon, rectangular and irregular 2D
+//!   meshes, exact and closed-form metrics;
+//! * [`routing`] — ring shortest-path, Spidergon Across-First, mesh XY,
+//!   table routing, deadlock (channel-dependency) analysis;
+//! * [`sim`] — flit-level wormhole simulator with the paper's node
+//!   model;
+//! * [`traffic`] — uniform, single/double hot-spot and extension
+//!   patterns, Poisson injection;
+//! * `noc-core` (re-exported at the root) — experiment specs, sweeps,
+//!   one generator per paper figure plus extension figures (torus,
+//!   adaptive routing, mixed hot-spots), ASCII tables and terminal
+//!   plots, and the `noc-cli` runner.
+//!
+//! # Quick start
+//!
+//! ```
+//! use spidergon_noc::{Experiment, TopologySpec, TrafficSpec};
+//! use spidergon_noc::sim::SimConfig;
+//!
+//! let result = Experiment {
+//!     topology: TopologySpec::Spidergon { nodes: 8 },
+//!     traffic: TrafficSpec::Uniform,
+//!     config: SimConfig::builder()
+//!         .injection_rate(0.15)
+//!         .warmup_cycles(200)
+//!         .measure_cycles(2_000)
+//!         .build()?,
+//! }
+//! .run()?;
+//! assert!(result.throughput() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use noc_core::*;
+
+/// NoC topologies and analytical metrics (re-export of `noc-topology`).
+pub use noc_topology as topology;
+
+/// Routing algorithms and deadlock analysis (re-export of
+/// `noc-routing`).
+pub use noc_routing as routing;
+
+/// The wormhole simulator (re-export of `noc-sim`).
+pub use noc_sim as sim;
+
+/// Traffic patterns and injection processes (re-export of
+/// `noc-traffic`).
+pub use noc_traffic as traffic;
