@@ -1,0 +1,167 @@
+//! Records the parallel-engine baseline into `BENCH_sweep.json`:
+//! sequential vs parallel wall-clock for the reference sweep (same
+//! workload as `cargo bench --bench parallel`), the resulting speedup,
+//! and the hot-path cycle kernel's flits/sec. Host core count is
+//! captured so numbers from different machines are comparable — on a
+//! single-core host the parallel timings show thread-pool overhead,
+//! not speedup, and the file says so.
+//!
+//! Usage: `cargo run --release --bin bench_sweep [out.json]
+//! [--baseline <flits/sec>]` — `--baseline` embeds a pre-optimization
+//! measurement of the same kernel for before/after comparison.
+
+use noc_core::{sweep_rates_with, Experiment, Parallelism, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+
+#[derive(Serialize)]
+struct Workload {
+    sweep: String,
+    hot_path: String,
+    repeats: usize,
+    statistic: String,
+}
+
+#[derive(Serialize)]
+struct SweepSeconds {
+    sequential: f64,
+    fixed_2: f64,
+    fixed_4: f64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    fixed_2: f64,
+    fixed_4: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    workload: Workload,
+    host_cores: usize,
+    sweep_seconds: SweepSeconds,
+    speedup_vs_sequential: Speedup,
+    hot_path_flits_per_sec: f64,
+    /// The same kernel measured on the pre-optimization simulator
+    /// (passed with `--baseline`; `null` when not measured).
+    hot_path_flits_per_sec_baseline: Option<f64>,
+    hot_path_gain: Option<f64>,
+    note: String,
+}
+
+fn sweep_config() -> SimConfig {
+    SimConfig::builder()
+        .warmup_cycles(200)
+        .measure_cycles(2_000)
+        .seed(2006)
+        .build()
+        .unwrap()
+}
+
+/// Median wall-clock seconds of the reference sweep over [`REPEATS`]
+/// runs under the given policy.
+fn time_sweep(parallelism: Parallelism) -> f64 {
+    let rates = [0.1, 0.2, 0.3, 0.4];
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let start = Instant::now();
+            let sweep = sweep_rates_with(
+                TopologySpec::Spidergon { nodes: 16 },
+                TrafficSpec::Uniform,
+                &sweep_config(),
+                &rates,
+                2,
+                parallelism,
+            )
+            .unwrap();
+            std::hint::black_box(sweep);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[REPEATS / 2]
+}
+
+/// Median flits/sec of the hot-path cycle kernel (Spidergon-32 under
+/// uniform load, 5k measured cycles).
+fn flits_per_sec() -> f64 {
+    let experiment = Experiment {
+        topology: TopologySpec::Spidergon { nodes: 32 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(0.3)
+            .warmup_cycles(0)
+            .measure_cycles(5_000)
+            .seed(2006)
+            .build()
+            .unwrap(),
+    };
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let start = Instant::now();
+            let flits = experiment.run().unwrap().stats.flits_delivered;
+            flits as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[REPEATS / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = "BENCH_sweep.json".to_owned();
+    let mut baseline: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                let value = args.next().ok_or("--baseline needs a flits/sec value")?;
+                baseline = Some(value.parse()?);
+            }
+            path => out = path.to_owned(),
+        }
+    }
+    let host_cores = noc_core::parallel::available_cores();
+    eprintln!("timing reference sweep ({host_cores} host cores, {REPEATS} repeats each)...");
+    let sequential = time_sweep(Parallelism::Sequential);
+    let fixed_2 = time_sweep(Parallelism::Fixed(2));
+    let fixed_4 = time_sweep(Parallelism::Fixed(4));
+    let flits = flits_per_sec();
+
+    let report = BenchReport {
+        workload: Workload {
+            sweep:
+                "spidergon-16 uniform, rates [0.1, 0.2, 0.3, 0.4], 2 replications, 2200 cycles each"
+                    .to_owned(),
+            hot_path: "spidergon-32 uniform, lambda 0.3, 5000 measured cycles".to_owned(),
+            repeats: REPEATS,
+            statistic: "median".to_owned(),
+        },
+        host_cores,
+        sweep_seconds: SweepSeconds {
+            sequential,
+            fixed_2,
+            fixed_4,
+        },
+        speedup_vs_sequential: Speedup {
+            fixed_2: sequential / fixed_2,
+            fixed_4: sequential / fixed_4,
+        },
+        hot_path_flits_per_sec: flits,
+        hot_path_flits_per_sec_baseline: baseline,
+        hot_path_gain: baseline.map(|b| flits / b),
+        note: if host_cores < 2 {
+            "single-core host: parallel timings measure scheduling overhead, not speedup"
+        } else {
+            "speedup is bounded by host cores and per-job runtime"
+        }
+        .to_owned(),
+    };
+    let pretty = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&out, format!("{pretty}\n"))?;
+    println!("{pretty}");
+    eprintln!("wrote {out}");
+    Ok(())
+}

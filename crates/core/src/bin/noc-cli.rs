@@ -9,12 +9,26 @@
 //! noc-cli metrics <N>                analytical metrics at N nodes
 //! ```
 //!
+//! `run` and `sweep` accept `--threads N` to pin the parallel engine's
+//! worker count (default: all cores, or the `NOC_THREADS` environment
+//! variable). Results are bit-identical for any thread count.
+//!
 //! A spec is the JSON form of [`noc_core::Experiment`]; get a template
 //! with `noc-cli example`.
 
-use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_core::report::RunMetadata;
+use noc_core::{Experiment, Parallelism, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use std::process::ExitCode;
+
+/// Parses a `--threads` value into a parallelism policy.
+fn parse_threads(value: &str) -> Result<Parallelism, String> {
+    match value.parse::<usize>() {
+        Ok(0) | Err(_) => Err("--threads must be a positive integer".to_owned()),
+        Ok(1) => Ok(Parallelism::Sequential),
+        Ok(n) => Ok(Parallelism::Fixed(n)),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +39,7 @@ fn main() -> ExitCode {
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: noc-cli run <spec.json> [--reps N] | sweep <spec.json> [--max R] [--steps K] [--reps N] | example | metrics <N>"
+                "usage: noc-cli run <spec.json> [--reps N] [--threads N] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | example | metrics <N>"
             );
             return ExitCode::from(2);
         }
@@ -42,6 +56,7 @@ fn main() -> ExitCode {
 fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing spec path")?;
     let mut reps = 1usize;
+    let mut parallelism = Parallelism::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -52,18 +67,22 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|_| "--reps must be a positive integer")?;
             }
+            "--threads" => {
+                parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?;
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
     let spec = std::fs::read_to_string(path)?;
     let experiment: Experiment = serde_json::from_str(&spec)?;
     println!(
-        "running {} / {} at lambda = {} ({} replication{})",
+        "running {} / {} at lambda = {} ({} replication{}, {})",
         experiment.topology.label()?,
         experiment.traffic.label(),
         experiment.config.injection_rate,
         reps,
         if reps == 1 { "" } else { "s" },
+        RunMetadata::for_parallelism(parallelism),
     );
     if reps == 1 {
         let result = experiment.run()?;
@@ -75,7 +94,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             result.stats.latency.percentile(95.0).unwrap_or(0),
         );
     } else {
-        let agg = experiment.run_replicated(reps)?;
+        let agg = experiment.run_replicated_with(reps, parallelism)?;
         println!(
             "throughput {:.4} ± {:.4} flits/cycle",
             agg.throughput_mean, agg.throughput_std
@@ -93,6 +112,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing spec path")?;
     let (mut max, mut steps, mut reps) = (0.6f64, 12usize, 1usize);
+    let mut parallelism = Parallelism::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -100,19 +120,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--max" => max = value.parse()?,
             "--steps" => steps = value.parse()?,
             "--reps" => reps = value.parse()?,
+            "--threads" => parallelism = parse_threads(value)?,
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
     let experiment: Experiment = serde_json::from_str(&std::fs::read_to_string(path)?)?;
     let rates: Vec<f64> = (1..=steps).map(|i| max * i as f64 / steps as f64).collect();
-    let sweep = noc_core::sweep_rates(
+    let sweep = noc_core::sweep_rates_with(
         experiment.topology,
         experiment.traffic,
         &experiment.config,
         &rates,
         reps,
+        parallelism,
     )?;
-    println!("# {} / {}", sweep.topology_label, sweep.traffic_label);
+    println!(
+        "# {} / {} ({})",
+        sweep.topology_label,
+        sweep.traffic_label,
+        RunMetadata::for_parallelism(parallelism)
+    );
     println!("rate,throughput,throughput_std,latency,latency_std,acceptance,mean_hops");
     for p in &sweep.points {
         println!(

@@ -1,6 +1,7 @@
 //! Running experiments: a (topology, traffic, configuration) triple,
 //! single runs and seed-replicated aggregates.
 
+use crate::parallel::{run_experiment_jobs, ExperimentJob, Parallelism};
 use crate::{CoreError, TopologySpec, TrafficSpec};
 use noc_sim::{SimConfig, SimStats, Simulation};
 use serde::{Deserialize, Serialize};
@@ -100,19 +101,41 @@ impl Experiment {
     /// Runs `replications` times with seeds `seed, seed+1, ...` and
     /// aggregates throughput and latency.
     ///
+    /// Replications execute on the parallel experiment engine under
+    /// [`Parallelism::Auto`] (see [`crate::parallel`]); results are
+    /// identical to a sequential loop for any worker count.
+    ///
     /// # Errors
     ///
-    /// Returns the first error encountered; requires `replications > 0`
-    /// ([`CoreError::InvalidSpec`] otherwise).
+    /// Returns the lowest-seed error encountered; requires
+    /// `replications > 0` ([`CoreError::InvalidSpec`] otherwise).
     pub fn run_replicated(&self, replications: usize) -> Result<Aggregate, CoreError> {
+        self.run_replicated_with(replications, Parallelism::default())
+    }
+
+    /// [`run_replicated`](Self::run_replicated) with an explicit
+    /// parallelism policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_replicated`](Self::run_replicated).
+    pub fn run_replicated_with(
+        &self,
+        replications: usize,
+        parallelism: Parallelism,
+    ) -> Result<Aggregate, CoreError> {
         if replications == 0 {
             return Err(CoreError::InvalidSpec {
                 reason: "replications must be positive".to_owned(),
             });
         }
-        let runs: Vec<RunResult> = (0..replications)
-            .map(|r| self.run_with_seed(self.config.seed.wrapping_add(r as u64)))
-            .collect::<Result<_, _>>()?;
+        let jobs: Vec<ExperimentJob> = (0..replications)
+            .map(|r| ExperimentJob {
+                experiment: self.clone(),
+                seed: self.config.seed.wrapping_add(r as u64),
+            })
+            .collect();
+        let runs = run_experiment_jobs(jobs, parallelism)?;
         Ok(Aggregate::from_runs(runs))
     }
 }

@@ -13,8 +13,10 @@
 //! The `_7`, `_9`, `_11` variants share the sweep with their throughput
 //! siblings, so both figures of a pair cost one set of simulations.
 
+use crate::parallel::{run_experiment_jobs, run_indexed, ExperimentJob, Parallelism};
 use crate::report::{FigureData, Point, Series};
-use crate::{sweep_rates, CoreError, Experiment, SweepResult, TopologySpec, TrafficSpec};
+use crate::sweep::{sweep_from_runs, sweep_jobs, validate_rates};
+use crate::{Aggregate, CoreError, Experiment, RunResult, SweepResult, TopologySpec, TrafficSpec};
 use noc_sim::{SimConfig, Simulation};
 use noc_topology::{analytical, metrics, real_mesh, IrregularMesh, RectMesh, Ring, Spidergon};
 use noc_traffic::{PlacementScenario, TrafficPattern, UniformRandom};
@@ -234,6 +236,11 @@ pub fn table_links(node_counts: &[usize]) -> FigureData {
 ///
 /// Returns the first simulation error.
 pub fn fig5(opts: &FigureOptions) -> Result<FigureData, CoreError> {
+    if opts.replications == 0 {
+        return Err(CoreError::InvalidSpec {
+            reason: "replications must be positive".to_owned(),
+        });
+    }
     let mut fig = FigureData::new(
         "fig5",
         "Analytical and simulation-based average network distances",
@@ -253,6 +260,12 @@ pub fn fig5(opts: &FigureOptions) -> Result<FigureData, CoreError> {
         ("spidergon-simulated".into(), Vec::new()),
         ("mesh-simulated".into(), Vec::new()),
     ];
+    // Analytical curves and the flattened simulation job list (node
+    // count × family × replication) are built in one pass; the engine
+    // then runs the whole grid at once and results are reassembled in
+    // the same (n, family) order.
+    let mut grid = Vec::new();
+    let mut jobs = Vec::new();
     for &n in &ns {
         let specs = [
             (0usize, TopologySpec::Ring { nodes: n }),
@@ -270,14 +283,25 @@ pub fn fig5(opts: &FigureOptions) -> Result<FigureData, CoreError> {
             analytic[slot].1.push((n as f64, exact));
             let mut config = opts.base_config();
             config.injection_rate = lambda;
-            let agg = Experiment {
+            let experiment = Experiment {
                 topology: spec,
                 traffic: TrafficSpec::Uniform,
                 config,
+            };
+            for rep in 0..opts.replications {
+                jobs.push(ExperimentJob {
+                    seed: experiment.config.seed.wrapping_add(rep as u64),
+                    experiment: experiment.clone(),
+                });
             }
-            .run_replicated(opts.replications)?;
-            simulated[slot].1.push((n as f64, agg.mean_hops));
+            grid.push((slot, n));
         }
+    }
+    let mut runs = run_experiment_jobs(jobs, Parallelism::default())?.into_iter();
+    for (slot, n) in grid {
+        let chunk: Vec<RunResult> = runs.by_ref().take(opts.replications).collect();
+        let agg = Aggregate::from_runs(chunk);
+        simulated[slot].1.push((n as f64, agg.mean_hops));
     }
     for (label, xy) in analytic.into_iter().chain(simulated) {
         fig.push_series(Series::from_xy(label, xy));
@@ -293,6 +317,49 @@ fn families(n: usize) -> Vec<(&'static str, TopologySpec)> {
         ("spidergon", TopologySpec::Spidergon { nodes: n }),
         ("mesh", TopologySpec::MeshBalanced { nodes: n }),
     ]
+}
+
+/// One planned sweep of a figure grid: series label plus the
+/// (topology, traffic) pair to sweep over the shared rate grid.
+type PlannedSweep = (String, TopologySpec, TrafficSpec);
+
+/// Runs every planned sweep as **one** flat job list on the parallel
+/// engine (plan-major, rate-major, replication-minor — the order the
+/// old nested loops ran in) and reassembles per-plan sweep results in
+/// plan order. This exposes the whole figure grid — node counts ×
+/// families × scenarios × rates × replications — to the worker pool at
+/// once instead of one sweep point at a time.
+fn run_planned_sweeps(
+    plans: &[PlannedSweep],
+    opts: &FigureOptions,
+    rates: &[f64],
+) -> Result<Vec<SweepResult>, CoreError> {
+    validate_rates(rates)?;
+    if opts.replications == 0 {
+        return Err(CoreError::InvalidSpec {
+            reason: "replications must be positive".to_owned(),
+        });
+    }
+    let base = opts.base_config();
+    let per_plan = rates.len() * opts.replications;
+    let mut jobs = Vec::with_capacity(plans.len() * per_plan);
+    for (_, topology, traffic) in plans {
+        jobs.extend(sweep_jobs(
+            *topology,
+            *traffic,
+            &base,
+            rates,
+            opts.replications,
+        ));
+    }
+    let mut runs = run_experiment_jobs(jobs, Parallelism::default())?.into_iter();
+    Ok(plans
+        .iter()
+        .map(|_| {
+            let chunk: Vec<RunResult> = runs.by_ref().take(per_plan).collect();
+            sweep_from_runs(rates, opts.replications, chunk)
+        })
+        .collect())
 }
 
 fn push_sweep(
@@ -347,22 +414,19 @@ pub fn fig6_7(opts: &FigureOptions) -> Result<(FigureData, FigureData), CoreErro
         "latency (cycles)",
     );
     let rates = opts.rates();
+    let mut plans = Vec::new();
     for &n in &opts.node_counts {
         for (family, spec) in families(n) {
-            let sweep = sweep_rates(
+            plans.push((
+                format!("{family}-{n}"),
                 spec,
                 TrafficSpec::SingleHotspot { target: 0 },
-                &opts.base_config(),
-                &rates,
-                opts.replications,
-            )?;
-            push_sweep(
-                &mut throughput,
-                &mut latency,
-                format!("{family}-{n}"),
-                &sweep,
-            );
+            ));
         }
+    }
+    let sweeps = run_planned_sweeps(&plans, opts, &rates)?;
+    for ((label, _, _), sweep) in plans.into_iter().zip(&sweeps) {
+        push_sweep(&mut throughput, &mut latency, label, sweep);
     }
     Ok((throughput, latency))
 }
@@ -392,24 +456,21 @@ pub fn fig8_9(opts: &FigureOptions) -> Result<(FigureData, FigureData), CoreErro
         ("A", PlacementScenario::Opposed),
         ("B", PlacementScenario::CornerMiddle),
     ];
+    let mut plans = Vec::new();
     for &n in &opts.node_counts {
         for (family, spec) in families(n) {
             for (tag, scenario) in scenarios {
-                let sweep = sweep_rates(
+                plans.push((
+                    format!("{family}-{n}-{tag}"),
                     spec,
                     TrafficSpec::DoubleHotspotPlaced { scenario },
-                    &opts.base_config(),
-                    &rates,
-                    opts.replications,
-                )?;
-                push_sweep(
-                    &mut throughput,
-                    &mut latency,
-                    format!("{family}-{n}-{tag}"),
-                    &sweep,
-                );
+                ));
             }
         }
+    }
+    let sweeps = run_planned_sweeps(&plans, opts, &rates)?;
+    for ((label, _, _), sweep) in plans.into_iter().zip(&sweeps) {
+        push_sweep(&mut throughput, &mut latency, label, sweep);
     }
     Ok((throughput, latency))
 }
@@ -434,22 +495,15 @@ pub fn fig10_11(opts: &FigureOptions) -> Result<(FigureData, FigureData), CoreEr
         "latency (cycles)",
     );
     let rates = opts.rates();
+    let mut plans = Vec::new();
     for &n in &opts.node_counts {
         for (family, spec) in families(n) {
-            let sweep = sweep_rates(
-                spec,
-                TrafficSpec::Uniform,
-                &opts.base_config(),
-                &rates,
-                opts.replications,
-            )?;
-            push_sweep(
-                &mut throughput,
-                &mut latency,
-                format!("{family}-{n}"),
-                &sweep,
-            );
+            plans.push((format!("{family}-{n}"), spec, TrafficSpec::Uniform));
         }
+    }
+    let sweeps = run_planned_sweeps(&plans, opts, &rates)?;
+    for ((label, _, _), sweep) in plans.into_iter().zip(&sweeps) {
+        push_sweep(&mut throughput, &mut latency, label, sweep);
     }
     Ok((throughput, latency))
 }
@@ -497,20 +551,13 @@ pub fn ext_torus(opts: &FigureOptions) -> Result<(FigureData, FigureData), CoreE
             },
         ),
     ];
-    for (family, spec) in specs {
-        let sweep = sweep_rates(
-            spec,
-            TrafficSpec::Uniform,
-            &opts.base_config(),
-            &rates,
-            opts.replications,
-        )?;
-        push_sweep(
-            &mut throughput,
-            &mut latency,
-            format!("{family}-{n}"),
-            &sweep,
-        );
+    let plans: Vec<PlannedSweep> = specs
+        .into_iter()
+        .map(|(family, spec)| (format!("{family}-{n}"), spec, TrafficSpec::Uniform))
+        .collect();
+    let sweeps = run_planned_sweeps(&plans, opts, &rates)?;
+    for ((label, _, _), sweep) in plans.into_iter().zip(&sweeps) {
+        push_sweep(&mut throughput, &mut latency, label, sweep);
     }
     Ok((throughput, latency))
 }
@@ -541,17 +588,27 @@ pub fn ext_adaptive(opts: &FigureOptions) -> Result<(FigureData, FigureData), Co
         cols: side,
         rows: side,
     };
+    // Custom routing objects cannot be expressed as `ExperimentJob`s,
+    // so this driver uses the generic engine entry point directly: one
+    // closure per (routing, rate, replication), each building its own
+    // simulation, with results reassembled in flattening order.
+    let rates = opts.rates();
+    let mut params = Vec::new();
     for adaptive in [false, true] {
-        let label = if adaptive { "west-first" } else { "xy" };
-        let mut tp_points = Vec::new();
-        let mut lat_points = Vec::new();
-        for rate in opts.rates() {
-            let mut tp_samples = Vec::new();
-            let mut lat_samples = Vec::new();
+        for &rate in &rates {
             for rep in 0..opts.replications {
-                let mut config = opts.base_config();
+                params.push((adaptive, rate, opts.seed.wrapping_add(rep as u64)));
+            }
+        }
+    }
+    let base = opts.base_config();
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(adaptive, rate, seed)| {
+            let mut config = base.clone();
+            move || -> Result<(f64, Option<f64>), CoreError> {
                 config.injection_rate = rate;
-                config.seed = opts.seed.wrapping_add(rep as u64);
+                config.seed = seed;
                 let routing = if adaptive {
                     spec.build_adaptive_routing()?
                 } else {
@@ -560,11 +617,22 @@ pub fn ext_adaptive(opts: &FigureOptions) -> Result<(FigureData, FigureData), Co
                 let pattern: Box<dyn TrafficPattern> = Box::new(UniformRandom::new(n)?);
                 let mut sim = Simulation::new(spec.build()?, routing, pattern, config)?;
                 let stats = sim.run()?;
-                tp_samples.push(stats.throughput_flits_per_cycle());
-                if let Some(mean) = stats.latency.mean() {
-                    lat_samples.push(mean);
-                }
+                Ok((stats.throughput_flits_per_cycle(), stats.latency.mean()))
             }
+        })
+        .collect();
+    let mut samples = run_indexed(jobs, Parallelism::default())
+        .into_iter()
+        .collect::<Result<Vec<_>, CoreError>>()?
+        .into_iter();
+    for adaptive in [false, true] {
+        let label = if adaptive { "west-first" } else { "xy" };
+        let mut tp_points = Vec::new();
+        let mut lat_points = Vec::new();
+        for &rate in &rates {
+            let chunk: Vec<(f64, Option<f64>)> = samples.by_ref().take(opts.replications).collect();
+            let tp_samples: Vec<f64> = chunk.iter().map(|&(tp, _)| tp).collect();
+            let lat_samples: Vec<f64> = chunk.iter().filter_map(|&(_, lat)| lat).collect();
             let (tp_mean, tp_std) = crate::mean_std(&tp_samples);
             let (lat_mean, lat_std) = crate::mean_std(&lat_samples);
             tp_points.push(Point {
@@ -615,17 +683,35 @@ pub fn ext_spidergon_routing(opts: &FigureOptions) -> Result<FigureData, CoreErr
         .filter(|n| n % 2 == 0)
         .max()
         .unwrap_or(16);
-    for (scheme, uniform) in [
+    let schemes = [
         ("across-first", true),
         ("across-last", true),
         ("across-first-hotspot", false),
         ("across-last-hotspot", false),
-    ] {
+    ];
+    // Same pattern as `ext_adaptive`: routing objects are built inside
+    // per-(scheme, rate, replication) closures on the generic engine.
+    let rates = opts.rates();
+    let mut params = Vec::new();
+    for (scheme, uniform) in schemes {
         let across_last = scheme.starts_with("across-last");
-        let mut points = Vec::new();
-        for rate in opts.rates() {
-            let mut samples = Vec::new();
+        for &rate in &rates {
             for rep in 0..opts.replications {
+                params.push((
+                    across_last,
+                    uniform,
+                    rate,
+                    opts.seed.wrapping_add(rep as u64),
+                ));
+            }
+        }
+    }
+    let base = opts.base_config();
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(across_last, uniform, rate, seed)| {
+            let mut config = base.clone();
+            move || -> Result<Option<f64>, CoreError> {
                 let topo = Spidergon::new(n)?;
                 let routing: Box<dyn RoutingAlgorithm> = if across_last {
                     Box::new(SpidergonAcrossLast::new(&topo))
@@ -637,16 +723,23 @@ pub fn ext_spidergon_routing(opts: &FigureOptions) -> Result<FigureData, CoreErr
                 } else {
                     Box::new(SingleHotspot::new(n, noc_topology::NodeId::new(0))?)
                 };
-                let mut config = opts.base_config();
                 config.injection_rate = rate;
-                config.seed = opts.seed.wrapping_add(rep as u64);
+                config.seed = seed;
                 let mut sim = Simulation::new(Box::new(topo), routing, pattern, config)?;
                 let stats = sim.run()?;
-                if let Some(mean) = stats.latency.mean() {
-                    samples.push(mean);
-                }
+                Ok(stats.latency.mean())
             }
-            let (mean, std) = crate::mean_std(&samples);
+        })
+        .collect();
+    let mut samples = run_indexed(jobs, Parallelism::default())
+        .into_iter()
+        .collect::<Result<Vec<_>, CoreError>>()?
+        .into_iter();
+    for (scheme, _) in schemes {
+        let mut points = Vec::new();
+        for &rate in &rates {
+            let chunk: Vec<f64> = samples.by_ref().take(opts.replications).flatten().collect();
+            let (mean, std) = crate::mean_std(&chunk);
             points.push(Point {
                 x: rate,
                 y: mean,
@@ -683,21 +776,41 @@ pub fn ext_mixed_hotspot(opts: &FigureOptions) -> Result<FigureData, CoreError> 
         .filter(|n| n % 2 == 0)
         .max()
         .unwrap_or(16);
+    if opts.replications == 0 {
+        return Err(CoreError::InvalidSpec {
+            reason: "replications must be positive".to_owned(),
+        });
+    }
     let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    for (family, spec) in families(n) {
-        let mut points = Vec::new();
+    // Flatten family × fraction × replication into one engine
+    // submission, then chunk results back per fraction.
+    let mut jobs = Vec::new();
+    for (_, spec) in families(n) {
         for &fraction in &fractions {
             let mut config = opts.base_config();
             config.injection_rate = 0.25;
-            let agg = Experiment {
+            let experiment = Experiment {
                 topology: spec,
                 traffic: TrafficSpec::MixedHotspot {
                     target: 0,
                     fraction,
                 },
                 config,
+            };
+            for rep in 0..opts.replications {
+                jobs.push(ExperimentJob {
+                    seed: experiment.config.seed.wrapping_add(rep as u64),
+                    experiment: experiment.clone(),
+                });
             }
-            .run_replicated(opts.replications)?;
+        }
+    }
+    let mut runs = run_experiment_jobs(jobs, Parallelism::default())?.into_iter();
+    for (family, _) in families(n) {
+        let mut points = Vec::new();
+        for &fraction in &fractions {
+            let chunk: Vec<RunResult> = runs.by_ref().take(opts.replications).collect();
+            let agg = Aggregate::from_runs(chunk);
             points.push(Point {
                 x: fraction,
                 y: agg.throughput_mean,

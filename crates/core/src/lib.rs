@@ -12,6 +12,10 @@
 //!   replication ([`Experiment::run_replicated`]);
 //! * [`sweep_rates`] — injection-rate sweeps (the x-axis of the paper's
 //!   Figures 6-11);
+//! * [`parallel`] — deterministic scoped-thread engine that fans out
+//!   replications, sweeps and figure grids across cores (worker count
+//!   via [`Parallelism`] or the `NOC_THREADS` environment variable)
+//!   while keeping output bit-identical to a sequential run;
 //! * [`figures`] — one function per paper figure, returning
 //!   [`report::FigureData`] ready to print as an ASCII table or CSV;
 //! * [`saturation_point`] — quantitative saturation detection;
@@ -45,6 +49,7 @@
 mod error;
 mod experiment;
 pub mod figures;
+pub mod parallel;
 pub mod plot;
 pub mod report;
 mod saturation;
@@ -54,9 +59,10 @@ mod sweep;
 pub use error::CoreError;
 pub use experiment::{mean_std, Aggregate, Experiment, RunResult};
 pub use figures::FigureOptions;
+pub use parallel::{run_experiment_jobs, run_indexed, ExperimentJob, Parallelism};
 pub use saturation::{saturation_point, SaturationPoint, DEFAULT_ACCEPTANCE_THRESHOLD};
 pub use spec::{TopologySpec, TrafficSpec};
-pub use sweep::{default_rate_grid, sweep_rates, SweepPoint, SweepResult};
+pub use sweep::{default_rate_grid, sweep_rates, sweep_rates_with, SweepPoint, SweepResult};
 
 // Re-export the component crates so downstream users need only one
 // dependency.

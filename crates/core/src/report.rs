@@ -194,6 +194,48 @@ fn format_number(v: f64) -> String {
     }
 }
 
+/// Execution metadata for one run or sweep invocation, recorded so a
+/// result can be tied back to how it was produced. Thread count is
+/// informational only — output is bit-identical for any worker count
+/// (see [`crate::parallel`]).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RunMetadata {
+    /// Worker threads the parallel engine resolved to.
+    pub threads: usize,
+    /// The parallelism policy the count came from (`"sequential"`,
+    /// `"auto"`, `"fixed"`).
+    pub policy: String,
+    /// Cores available on the host that produced the result.
+    pub host_cores: usize,
+}
+
+impl RunMetadata {
+    /// Captures metadata for the given parallelism policy on this host.
+    pub fn for_parallelism(parallelism: crate::Parallelism) -> Self {
+        use crate::Parallelism;
+        RunMetadata {
+            threads: parallelism.worker_count(),
+            policy: match parallelism {
+                Parallelism::Sequential => "sequential",
+                Parallelism::Auto => "auto",
+                Parallelism::Fixed(_) => "fixed",
+            }
+            .to_owned(),
+            host_cores: crate::parallel::available_cores(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunMetadata {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "threads {} ({}), host cores {}",
+            self.threads, self.policy, self.host_cores
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +291,18 @@ mod tests {
     fn number_formatting() {
         assert_eq!(format_number(4.0), "4");
         assert_eq!(format_number(0.12345), "0.1235"); // {:.4} rounds
+    }
+
+    #[test]
+    fn run_metadata_reflects_policy() {
+        let m = RunMetadata::for_parallelism(crate::Parallelism::Fixed(3));
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.policy, "fixed");
+        assert!(m.host_cores >= 1);
+        assert!(m.to_string().contains("fixed"));
+        let back: RunMetadata = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let seq = RunMetadata::for_parallelism(crate::Parallelism::Sequential);
+        assert_eq!((seq.threads, seq.policy.as_str()), (1, "sequential"));
     }
 }

@@ -1,6 +1,7 @@
 //! Injection-rate sweeps: the x-axis of the paper's Figures 6-11.
 
-use crate::{Aggregate, CoreError, Experiment, TopologySpec, TrafficSpec};
+use crate::parallel::{run_experiment_jobs, ExperimentJob, Parallelism};
+use crate::{Aggregate, CoreError, Experiment, RunResult, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +89,47 @@ pub fn sweep_rates(
     rates: &[f64],
     replications: usize,
 ) -> Result<SweepResult, CoreError> {
+    sweep_rates_with(
+        topology,
+        traffic,
+        base_config,
+        rates,
+        replications,
+        Parallelism::default(),
+    )
+}
+
+/// [`sweep_rates`] with an explicit parallelism policy.
+///
+/// The whole rate × replication product is flattened into one job list
+/// for the engine — with R rates and K replications, up to `R * K`
+/// simulations run concurrently, not just the K replications of one
+/// point at a time.
+///
+/// # Errors
+///
+/// See [`sweep_rates`].
+pub fn sweep_rates_with(
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    base_config: &SimConfig,
+    rates: &[f64],
+    replications: usize,
+    parallelism: Parallelism,
+) -> Result<SweepResult, CoreError> {
+    validate_rates(rates)?;
+    if replications == 0 {
+        return Err(CoreError::InvalidSpec {
+            reason: "replications must be positive".to_owned(),
+        });
+    }
+    let jobs = sweep_jobs(topology, traffic, base_config, rates, replications);
+    let runs = run_experiment_jobs(jobs, parallelism)?;
+    Ok(sweep_from_runs(rates, replications, runs))
+}
+
+/// Rejects empty or non-ascending rate lists.
+pub(crate) fn validate_rates(rates: &[f64]) -> Result<(), CoreError> {
     if rates.is_empty() {
         return Err(CoreError::InvalidSpec {
             reason: "rate sweep needs at least one rate".to_owned(),
@@ -98,9 +140,19 @@ pub fn sweep_rates(
             reason: "sweep rates must be strictly ascending".to_owned(),
         });
     }
-    let mut points = Vec::with_capacity(rates.len());
-    let mut topology_label = String::new();
-    let mut traffic_label = String::new();
+    Ok(())
+}
+
+/// Flattens a sweep into engine jobs: rate-major, replication-minor —
+/// exactly the order the old nested loops ran in.
+pub(crate) fn sweep_jobs(
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    base_config: &SimConfig,
+    rates: &[f64],
+    replications: usize,
+) -> Vec<ExperimentJob> {
+    let mut jobs = Vec::with_capacity(rates.len() * replications);
     for &rate in rates {
         let mut config = base_config.clone();
         config.injection_rate = rate;
@@ -109,16 +161,40 @@ pub fn sweep_rates(
             traffic,
             config,
         };
-        let agg = experiment.run_replicated(replications)?;
+        for r in 0..replications {
+            jobs.push(ExperimentJob {
+                seed: experiment.config.seed.wrapping_add(r as u64),
+                experiment: experiment.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Reassembles the in-order run results of [`sweep_jobs`] into a
+/// [`SweepResult`], chunking `replications` runs per rate.
+pub(crate) fn sweep_from_runs(
+    rates: &[f64],
+    replications: usize,
+    runs: Vec<RunResult>,
+) -> SweepResult {
+    debug_assert_eq!(runs.len(), rates.len() * replications);
+    let mut runs = runs.into_iter();
+    let mut points = Vec::with_capacity(rates.len());
+    let mut topology_label = String::new();
+    let mut traffic_label = String::new();
+    for &rate in rates {
+        let chunk: Vec<RunResult> = runs.by_ref().take(replications).collect();
+        let agg = Aggregate::from_runs(chunk);
         topology_label = agg.runs[0].topology_label.clone();
         traffic_label = agg.runs[0].traffic_label.clone();
         points.push(point_from_aggregate(rate, &agg));
     }
-    Ok(SweepResult {
+    SweepResult {
         topology_label,
         traffic_label,
         points,
-    })
+    }
 }
 
 fn point_from_aggregate(rate: f64, agg: &Aggregate) -> SweepPoint {
@@ -135,14 +211,17 @@ fn point_from_aggregate(rate: f64, agg: &Aggregate) -> SweepPoint {
 
 /// Default injection-rate grid used by the figure reproductions:
 /// 0.025 to `max` in steps matched to the paper's axes.
+///
+/// Stepping is integral — the i-th rate is computed as `(i * 25) /
+/// 1000` rather than by repeatedly adding `0.025` (which is not exact
+/// in binary and accumulates error), so every grid value is the
+/// correctly-rounded double of an exact multiple of 0.025 no matter
+/// how long the grid is.
 pub fn default_rate_grid(max: f64) -> Vec<f64> {
-    let mut rates = Vec::new();
-    let mut r = 0.025;
-    while r <= max + 1e-9 {
-        rates.push((r * 1000.0).round() / 1000.0);
-        r += 0.025;
-    }
-    rates
+    // Tolerance mirrors the old `r <= max + 1e-9` bound so a `max`
+    // sitting exactly on a step (e.g. 0.5) is included.
+    let steps = ((max + 1e-9) / 0.025).floor() as usize;
+    (1..=steps).map(|i| (i * 25) as f64 / 1000.0).collect()
 }
 
 #[cfg(test)]
@@ -202,5 +281,40 @@ mod tests {
         assert_eq!(grid.last(), Some(&0.5));
         assert!(grid.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(grid.len(), 20);
+    }
+
+    #[test]
+    fn default_grid_values_are_exact_multiples() {
+        // Every value must be the correctly-rounded double of i * 0.025
+        // with no accumulated drift, even on a long grid.
+        let grid = default_rate_grid(25.0);
+        assert_eq!(grid.len(), 1000);
+        for (i, &r) in grid.iter().enumerate() {
+            let expected = ((i + 1) * 25) as f64 / 1000.0;
+            assert_eq!(r.to_bits(), expected.to_bits(), "index {i}");
+        }
+        // Spot-check values the old accumulating loop drifted away
+        // from before rounding: 0.825 = 33 * 0.025.
+        assert_eq!(grid[32], 0.825);
+        // A max just below a step excludes it; just above includes it.
+        assert_eq!(default_rate_grid(0.049).len(), 1);
+        assert_eq!(default_rate_grid(0.051).len(), 2);
+        assert!(default_rate_grid(0.0).is_empty());
+    }
+
+    #[test]
+    fn sweep_with_fixed_threads_matches_sequential() {
+        let run = |par| {
+            sweep_rates_with(
+                TopologySpec::Ring { nodes: 6 },
+                TrafficSpec::Uniform,
+                &base(),
+                &[0.05, 0.15],
+                2,
+                par,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(Parallelism::Sequential), run(Parallelism::Fixed(4)));
     }
 }

@@ -86,14 +86,21 @@ impl RoutingAlgorithm for WestFirst {
     }
 
     fn candidates(&self, current: NodeId, dest: NodeId) -> Vec<Direction> {
+        let mut out = Vec::with_capacity(2);
+        self.candidates_into(current, dest, &mut out);
+        out
+    }
+
+    fn candidates_into(&self, current: NodeId, dest: NodeId, out: &mut Vec<Direction>) {
         let (cx, cy) = self.coords(current);
         let (dx, dy) = self.coords(dest);
         if cx > dx {
             // Deterministic West phase — the turn model permits no
             // other move while the destination lies to the West.
-            return vec![Direction::West];
+            out.push(Direction::West);
+            return;
         }
-        let mut out = Vec::with_capacity(2);
+        let before = out.len();
         if cx < dx {
             out.push(Direction::East);
         }
@@ -102,10 +109,9 @@ impl RoutingAlgorithm for WestFirst {
         } else if cy > dy {
             out.push(Direction::North);
         }
-        if out.is_empty() {
+        if out.len() == before {
             out.push(Direction::Local);
         }
-        out
     }
 
     fn label(&self) -> String {

@@ -75,6 +75,19 @@ pub trait RoutingAlgorithm: fmt::Debug {
         vec![self.next_hop(current, dest)]
     }
 
+    /// Appends the same candidates as
+    /// [`candidates`](RoutingAlgorithm::candidates) to `out` without
+    /// allocating — the form the simulator's switch-allocation hot path
+    /// calls with a reused scratch buffer (head flits blocked at a full
+    /// output queue re-route every cycle).
+    ///
+    /// The default appends `next_hop(current, dest)`, matching the
+    /// default `candidates`. An algorithm overriding `candidates` must
+    /// override this method to stay consistent.
+    fn candidates_into(&self, current: NodeId, dest: NodeId, out: &mut Vec<Direction>) {
+        out.push(self.next_hop(current, dest));
+    }
+
     /// Short human-readable name, e.g. `"across-first"`.
     fn label(&self) -> String;
 }

@@ -72,6 +72,11 @@ pub struct Flit {
     pub dst: NodeId,
     /// Cycle at which the packet was created at its source.
     pub created: u64,
+    /// Link crossings this flit has made so far. Under wormhole
+    /// switching every flit of a packet traverses the same links, so
+    /// the tail's counter at consumption equals the head's hop count —
+    /// which is why the simulator needs no per-packet hop table.
+    pub hops: u64,
 }
 
 impl Flit {
@@ -109,6 +114,7 @@ impl Flit {
             src,
             dst,
             created,
+            hops: 0,
         };
         (0..len)
             .map(|i| {

@@ -40,7 +40,7 @@ use noc_routing::RoutingAlgorithm;
 use noc_topology::{Direction, NodeId, Topology};
 use noc_traffic::{Trace, TrafficPattern};
 use rand::{rngs::SmallRng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-node router and network-interface state.
 #[derive(Debug)]
@@ -108,8 +108,6 @@ pub struct Simulation {
     arrivals: EventQueue<Arrival>,
     cycle: u64,
     next_packet: u64,
-    /// Hop counters for in-flight packets (head link crossings).
-    hops: HashMap<PacketId, u64>,
     /// Flits currently inside routers (not in source queues).
     in_network: u64,
     /// Lifetime totals (warmup included), for conservation checks.
@@ -123,10 +121,20 @@ pub struct Simulation {
     link_counters: Vec<Vec<u64>>,
     /// Delivered flits inside the current sampling window.
     window_flits: u64,
+    /// Reusable buffer for routing candidate directions (hot path:
+    /// filled and drained every head-flit allocation attempt).
+    dir_scratch: Vec<Direction>,
+    /// Reusable buffer for candidate (port, VC) allocations.
+    route_scratch: Vec<SlotRoute>,
 }
 
 /// Sentinel output-port index for the local ejection queue.
 const EJECT: usize = usize::MAX;
+
+/// Upper bound on ports per router: every non-local [`Direction`] plus
+/// the ejection port — lets switch allocation keep its per-port write
+/// budget in a stack array instead of a per-cycle heap allocation.
+const MAX_PORTS: usize = Direction::ALL.len() + 1;
 
 /// A scheduled packet creation: from a stochastic pattern (destination
 /// drawn at creation time) or from a trace entry (destination fixed).
@@ -265,6 +273,11 @@ impl Simulation {
         let mut nodes = Vec::with_capacity(n);
         for v in topology.node_ids() {
             let dirs = topology.directions(v);
+            assert!(
+                dirs.len() < MAX_PORTS,
+                "router at {v} has {} link ports, more than any known topology",
+                dirs.len()
+            );
             let peer = dirs
                 .iter()
                 .map(|&d| {
@@ -322,7 +335,6 @@ impl Simulation {
             arrivals: EventQueue::new(),
             cycle: 0,
             next_packet: 0,
-            hops: HashMap::new(),
             in_network: 0,
             total_flits_generated: 0,
             total_flits_consumed: 0,
@@ -332,6 +344,8 @@ impl Simulation {
             deliveries: Vec::new(),
             link_counters: Vec::new(),
             window_flits: 0,
+            dir_scratch: Vec::new(),
+            route_scratch: Vec::new(),
             config,
         })
     }
@@ -546,7 +560,10 @@ impl Simulation {
                         self.stats.per_node_delivered[v] += 1;
                     }
                     if flit.kind.is_tail() {
-                        let hops = self.hops.remove(&flit.packet).unwrap_or(0);
+                        // The tail crossed exactly the links the head
+                        // did (wormhole), so its own counter is the
+                        // packet's hop count.
+                        let hops = flit.hops;
                         if self.measuring {
                             self.stats.packets_delivered += 1;
                             self.stats.total_hops += hops;
@@ -574,36 +591,37 @@ impl Simulation {
 
     /// Phase 3: one flit per unidirectional link crosses into the
     /// downstream input buffer, VCs arbitrated round-robin.
+    ///
+    /// Runs in a single pass with no intermediate move list: per-link
+    /// decisions are independent within the phase, because a link
+    /// `(v, d)` is the only writer of its downstream input buffer and
+    /// the only reader of its upstream output queues — no transfer on
+    /// another link can change this link's decision, and links have no
+    /// self-loops (`v != peer`).
     fn transfer_links(&mut self) -> bool {
-        let mut moves: Vec<(usize, usize, usize)> = Vec::new();
-        for (v, node) in self.nodes.iter().enumerate() {
-            for d in 0..node.dirs.len() {
-                let (peer, peer_port) = node.peer[d];
-                let start = node.link_rr[d];
+        let mut moved = false;
+        let eligible = self.cycle + self.config.router_delay;
+        for v in 0..self.nodes.len() {
+            for d in 0..self.nodes[v].dirs.len() {
+                let (peer, peer_port) = self.nodes[v].peer[d];
+                let start = self.nodes[v].link_rr[d];
                 for k in 0..self.vcs {
                     let vc = (start + k) % self.vcs;
-                    if node.out[d][vc].front().is_some()
+                    if self.nodes[v].out[d][vc].front().is_some()
                         && self.nodes[peer].input[peer_port][vc].has_space()
                     {
-                        moves.push((v, d, vc));
+                        let mut flit = self.nodes[v].out[d][vc].pop().expect("checked above");
+                        self.nodes[v].link_rr[d] = (vc + 1) % self.vcs;
+                        flit.hops += 1;
+                        self.nodes[peer].input[peer_port][vc].receive(flit, eligible);
+                        if self.measuring {
+                            self.stats.link_traversals += 1;
+                            self.link_counters[v][d] += 1;
+                        }
+                        moved = true;
                         break;
                     }
                 }
-            }
-        }
-        let moved = !moves.is_empty();
-        for (v, d, vc) in moves {
-            let flit = self.nodes[v].out[d][vc].pop().expect("checked above");
-            self.nodes[v].link_rr[d] = (vc + 1) % self.vcs;
-            let (peer, peer_port) = self.nodes[v].peer[d];
-            let eligible = self.cycle + self.config.router_delay;
-            self.nodes[peer].input[peer_port][vc].receive(flit, eligible);
-            if flit.kind.is_head() {
-                *self.hops.entry(flit.packet).or_insert(0) += 1;
-            }
-            if self.measuring {
-                self.stats.link_traversals += 1;
-                self.link_counters[v][d] += 1;
             }
         }
         moved
@@ -628,8 +646,10 @@ impl Simulation {
         self.nodes[v].rr_offset = (start + 1) % nslots;
         // Writes left per output port this cycle: one per link port
         // (crossbar), `sink_rate` for the ejection port (the IP
-        // interface is as wide as its consumption rate).
-        let mut used = vec![1usize; num_dirs + 1];
+        // interface is as wide as its consumption rate). A stack array
+        // (ports bounded by MAX_PORTS, asserted at assembly) so the
+        // per-node-per-cycle bookkeeping never touches the heap.
+        let mut used = [1usize; MAX_PORTS];
         used[num_dirs] = self.config.sink_rate;
         let mut moved = false;
         for k in 0..nslots {
@@ -646,14 +666,19 @@ impl Simulation {
 
     /// Computes the candidate (output port, VC) allocations for a head
     /// flit at node `v` arriving on virtual channel `in_vc`, in the
-    /// routing algorithm's preference order. Deterministic algorithms
-    /// yield exactly one candidate; adaptive ones several, and the
-    /// switch takes the first whose queue can accept the flit.
-    fn head_routes(&mut self, v: usize, flit: &Flit, in_vc: usize) -> Vec<SlotRoute> {
+    /// routing algorithm's preference order, appending them to `out`.
+    /// Deterministic algorithms yield exactly one candidate; adaptive
+    /// ones several, and the switch takes the first whose queue can
+    /// accept the flit.
+    fn head_routes_into(&mut self, v: usize, flit: &Flit, in_vc: usize, out: &mut Vec<SlotRoute>) {
         let here = NodeId::new(v);
-        let dirs = self.routing.candidates(here, flit.dst);
-        let mut out = Vec::with_capacity(dirs.len());
-        for dir in dirs {
+        // Reuse the direction scratch buffer (taken so the routing call
+        // can borrow `self`); blocked head flits retry every cycle, so
+        // this runs far too often to allocate each time.
+        let mut dirs = std::mem::take(&mut self.dir_scratch);
+        dirs.clear();
+        self.routing.candidates_into(here, flit.dst, &mut dirs);
+        for &dir in &dirs {
             if dir == Direction::Local {
                 // Pick the first ejection channel that can accept the
                 // head (wormhole ownership: one packet per channel).
@@ -682,7 +707,7 @@ impl Simulation {
                 packet: flit.packet,
             });
         }
-        out
+        self.dir_scratch = dirs;
     }
 
     /// Tries each candidate allocation in order; returns the one that
@@ -707,16 +732,20 @@ impl Simulation {
         let Some(&flit) = self.nodes[v].input[d][vc].front_ready(now) else {
             return false;
         };
-        let routes = if flit.kind.is_head() {
-            self.head_routes(v, &flit, vc)
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        routes.clear();
+        if flit.kind.is_head() {
+            self.head_routes_into(v, &flit, vc, &mut routes);
         } else {
             let r = self.nodes[v].input[d][vc]
                 .route
                 .expect("body/tail flit with no wormhole allocation");
             assert_eq!(r.packet, flit.packet, "stale wormhole allocation");
-            vec![r]
-        };
-        let Some(route) = self.try_place(v, &flit, &routes, used) else {
+            routes.push(r);
+        }
+        let placed = self.try_place(v, &flit, &routes, used);
+        self.route_scratch = routes;
+        let Some(route) = placed else {
             return false;
         };
         let node = &mut self.nodes[v];
@@ -734,21 +763,24 @@ impl Simulation {
         let Some(&flit) = self.nodes[v].source_queue.front() else {
             return false;
         };
-        let routes = if flit.kind.is_head() {
-            let routes = self.head_routes(v, &flit, 0);
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        routes.clear();
+        if flit.kind.is_head() {
+            self.head_routes_into(v, &flit, 0, &mut routes);
             assert!(
                 routes.iter().all(|r| r.out_port != EJECT),
                 "packet addressed to its own source"
             );
-            routes
         } else {
             let r = self.nodes[v]
                 .source_route
                 .expect("injecting body/tail with no allocation");
             assert_eq!(r.packet, flit.packet, "stale injection allocation");
-            vec![r]
-        };
-        let Some(route) = self.try_place(v, &flit, &routes, used) else {
+            routes.push(r);
+        }
+        let placed = self.try_place(v, &flit, &routes, used);
+        self.route_scratch = routes;
+        let Some(route) = placed else {
             return false;
         };
         let node = &mut self.nodes[v];

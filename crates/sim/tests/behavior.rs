@@ -409,11 +409,16 @@ fn mser_detects_cold_start_warmup_on_a_real_run() {
     let n = 16;
     let topo = Spidergon::new(n).unwrap();
     let routing = SpidergonAcrossFirst::new(&topo);
+    // The sampling window must be short enough that the first window is
+    // dominated by the cold start (empty network, nothing delivered yet)
+    // rather than by sampling noise: with ~10-20 cycles of fill time, a
+    // 20-cycle first window is mostly cold, while a 50-cycle one leaves
+    // the below-mean deficit smaller than the per-window noise.
     let cfg = SimConfig::builder()
         .injection_rate(0.6)
         .warmup_cycles(0)
         .measure_cycles(20_000)
-        .sample_interval(50)
+        .sample_interval(20)
         .seed(41)
         .build()
         .unwrap();

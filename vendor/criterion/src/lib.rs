@@ -1,0 +1,230 @@
+//! Vendored minimal reimplementation of the `criterion` API surface
+//! used by this workspace (see `vendor/README.md`).
+//!
+//! Provides the harness pieces the `crates/bench` targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop instead of crates.io criterion's
+//! statistical machinery. `--test` mode (what CI smoke runs use)
+//! executes each benchmark body once, and a positional argument
+//! filters benchmarks by substring, both matching crates.io behavior.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver: configuration plus run/filter state.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, a positional substring
+    /// filter; other flags cargo passes are ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Cargo passes `--bench`; value-taking flags of the real
+                // harness are skipped together with their value.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                name => self.filter = Some(name.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            iterations: if self.test_mode {
+                1
+            } else {
+                self.sample_size as u64
+            },
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+            println!(
+                "{id:<60} time: {per_iter} ns/iter ({} iters)",
+                bencher.iterations
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring crates.io criterion's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = { $config }.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("counts", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_share_config() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_function("inner", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: false,
+            filter: Some("match".to_owned()),
+        };
+        let mut runs = 0u64;
+        c.bench_function("no", |b| b.iter(|| runs += 1));
+        c.bench_function("does_match", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(21) * 2, 42);
+    }
+}

@@ -1,0 +1,369 @@
+//! Vendored minimal reimplementation of the `proptest` API surface used
+//! by this workspace (see `vendor/README.md` for why dependencies are
+//! vendored).
+//!
+//! Differences from crates.io `proptest`, deliberate for a small
+//! offline stub:
+//!
+//! * cases are generated from a deterministic per-test seed (hash of
+//!   the test path and case index), so failures reproduce exactly on
+//!   re-run;
+//! * no shrinking — a failing case panics with the generated inputs
+//!   printed, which is enough to reproduce and debug;
+//! * only the strategies the workspace uses are provided: numeric
+//!   ranges, tuples of strategies and [`collection::vec`].
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Runner configuration (case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a case body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.below(span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{test_runner::TestRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().new_value(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// SplitMix64-based generator seeded from the test path and case
+    /// index, so every case is reproducible without stored state.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for case `case` of test `path`.
+        pub fn deterministic(path: &str, case: u32) -> Self {
+            // FNV-1a over the path, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..span` (`span > 0`, fits in `u64`).
+        pub fn below(&mut self, span: u128) -> u64 {
+            debug_assert!(span > 0 && span <= u128::from(u64::MAX) + 1);
+            if span == u128::from(u64::MAX) + 1 {
+                return self.next_u64();
+            }
+            let span = span as u64;
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Single-import convenience, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests. Mirrors the crates.io `proptest!` surface
+/// used in this workspace: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `fn name(arg in strategy, ...) { body }` items
+/// (each carrying its own `#[test]` attribute).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__path, __case);
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}",)*),
+                        __case, $(&$arg),*
+                    );
+                    let __case_fn = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    let __result = __case_fn();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("proptest case failed: {e}\n  {}", __inputs);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            // No shrinking machinery: a discarded case simply passes.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_are_deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        let s = 5usize..50;
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("v", 0);
+        let s = crate::collection::vec((0u64..10, 0usize..3), 1..6);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 10 && b < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 3usize..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0u8..3) {
+            prop_assert_ne!(x, 200);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Vendored minimal reimplementation of the `serde` API surface used by
+//! this workspace.
+//!
+//! The build environment has no network access and no crates.io mirror,
+//! so the workspace vendors its external dependencies (see
+//! `vendor/README.md`). This crate intentionally implements a *reduced*
+//! data model: [`Serialize`] lowers a value to an in-memory JSON
+//! [`Value`] tree and [`Deserialize`] rebuilds a value from one. The
+//! only consumer in the workspace is the vendored `serde_json`, and the
+//! only producer of impls is the vendored `serde_derive`, so the
+//! crates.io `Serializer`/`Deserializer` visitor machinery is not
+//! needed.
+//!
+//! Supported shapes (everything the workspace derives):
+//!
+//! * named-field structs, with container-level `#[serde(default)]`;
+//! * newtype (single-field tuple) structs, always transparent — which
+//!   also covers `#[serde(transparent)]`;
+//! * enums with unit, struct and newtype variants, externally tagged
+//!   exactly like crates.io serde (`"Unit"`, `{"Variant": {..}}`,
+//!   `{"Variant": value}`);
+//! * primitives, `String`, `Option<T>`, `Vec<T>` and `[T; N]`.
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Error produced when a [`Value`] does not match the shape expected by
+/// a [`Deserialize`] impl.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, validating the tree shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the expected
+    /// shape (wrong type, missing field, unknown enum variant, ...).
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::U64(v) => v,
+                    Value::I64(v) if v >= 0 => v as u64,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, found {value}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => i64::try_from(v).map_err(|_| {
+                        DeError::custom(format!("integer {v} out of range"))
+                    })?,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {value}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    // JSON cannot represent non-finite floats; serde_json
+                    // writes them as null, so accept null as NaN here.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::custom(format!(
+                        "expected number, found {value}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::custom(format!("expected bool, found {value}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::custom(format!("expected string, found {value}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom(format!("expected array, found {value}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            Value::Array(items) => Err(DeError::custom(format!(
+                "expected array of length {N}, found length {}",
+                items.len()
+            ))),
+            _ => Err(DeError::custom(format!("expected array, found {value}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------
+
+/// Support routines for code generated by the vendored `serde_derive`.
+///
+/// Not part of the public API contract; only derive output calls these.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up a required struct field.
+    pub fn req_field<T: Deserialize>(
+        obj: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(DeError::custom(format!("missing field `{name}` in {ty}"))),
+        }
+    }
+
+    /// Looks up an optional struct field (container `#[serde(default)]`).
+    pub fn opt_field<'o>(obj: &'o [(String, Value)], name: &str) -> Option<&'o Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Views a value as an object, or errors.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(DeError::custom(format!(
+                "expected object for {ty}, found {value}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn numeric_cross_acceptance() {
+        // Integers in JSON deserialize into floats and vice versa when
+        // in range, matching crates.io serde_json behavior.
+        assert_eq!(f64::from_value(&Value::I64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_value(&Value::I64(3)).unwrap(), 3);
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_pass_through_null() {
+        assert!(matches!(f64::NAN.to_value(), Value::F64(v) if v.is_nan()));
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [4usize, 5];
+        assert_eq!(<[usize; 2]>::from_value(&arr.to_value()).unwrap(), arr);
+        assert!(<[usize; 2]>::from_value(&vec![1u64].to_value()).is_err());
+        let opt: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&opt.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn shape_errors_mention_what_was_found() {
+        let err = bool::from_value(&Value::U64(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+}

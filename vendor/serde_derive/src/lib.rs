@@ -1,0 +1,492 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the workspace's offline build (see `vendor/README.md`).
+//!
+//! Implemented without `syn`/`quote`: the item is parsed directly from
+//! the `proc_macro` token stream and the impl is emitted as source text.
+//! Supported shapes — exactly what the workspace derives:
+//!
+//! * named-field structs, honoring container `#[serde(default)]`;
+//! * newtype (single-field tuple) structs, always transparent (also
+//!   covering `#[serde(transparent)]`);
+//! * enums with unit, struct and newtype variants (externally tagged).
+//!
+//! Unsupported shapes (generics, multi-field tuple structs, field-level
+//! serde attributes, ...) produce a compile-time panic naming the item,
+//! so accidental use is loud rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored reduced data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_serialize(&item))
+}
+
+/// Derives `serde::Deserialize` (vendored reduced data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_deserialize(&item))
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// Item model.
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Container `#[serde(default)]`.
+    default: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct with the listed field names.
+    Struct(Vec<String>),
+    /// Single-field tuple struct.
+    Newtype,
+    /// Enum with the listed variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Struct variant with the listed field names.
+    Struct(Vec<String>),
+    /// Single-field tuple variant.
+    Newtype,
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut default = false;
+
+    // Container attributes and visibility.
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(pos + 1) {
+                    for flag in serde_attr_flags(attr.stream()) {
+                        match flag.as_str() {
+                            "default" => default = true,
+                            // Newtype structs are transparent either way.
+                            "transparent" => {}
+                            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                        }
+                    }
+                }
+                pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive: tuple struct `{name}` has {arity} fields; \
+                         only newtype (1-field) tuple structs are supported"
+                    );
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+
+    Item {
+        name,
+        default,
+        shape,
+    }
+}
+
+/// Extracts the flag idents of a `serde(...)` attribute body, e.g.
+/// `[serde(default)]` yields `["default"]`. Returns empty for other
+/// attributes (`doc`, `non_exhaustive`, `default`, ...).
+fn serde_attr_flags(attr_body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.to_string()),
+                    _ => None,
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Parses `a: T, b: U, ...` field lists (struct bodies and struct
+/// variants), returning the field names in declaration order.
+fn parse_named_fields(body: TokenStream, owner: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => pos += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    pos += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            pos += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(pos) else {
+            if pos >= tokens.len() {
+                break;
+            }
+            panic!(
+                "serde_derive: expected field name in `{owner}`, found {:?}",
+                tokens.get(pos)
+            );
+        };
+        fields.push(field.to_string());
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field in `{owner}`, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma. Commas inside
+        // grouped tokens are invisible here; only `<...>` generics need
+        // explicit depth tracking.
+        let mut angle_depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields of a tuple-struct body `(T, U, ...)`.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0usize;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            arity -= 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream, owner: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Skip variant attributes (e.g. `#[default]` from derive(Default)).
+        while let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '#' {
+                pos += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.get(pos) else {
+            if pos >= tokens.len() {
+                break;
+            }
+            panic!(
+                "serde_derive: expected variant name in `{owner}`, found {:?}",
+                tokens.get(pos)
+            );
+        };
+        let name = variant.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream(), &format!("{owner}::{name}")))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive: tuple variant `{owner}::{name}` has {arity} fields; \
+                         only newtype (1-field) tuple variants are supported"
+                    );
+                }
+                pos += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                panic!("serde_derive: explicit discriminants in `{owner}` are not supported");
+            }
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+fn obj_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            obj_literal(&pairs)
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            let inner = obj_literal(&pairs);
+                            let tagged = obj_literal(&[(vname.clone(), inner)]);
+                            format!("{name}::{vname} {{ {binds} }} => {tagged},")
+                        }
+                        VariantKind::Newtype => {
+                            let tagged = obj_literal(&[(
+                                vname.clone(),
+                                "::serde::Serialize::to_value(__v0)".to_owned(),
+                            )]);
+                            format!("{name}::{vname}(__v0) => {tagged},")
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) if item.default => {
+            let assigns: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "if let ::std::option::Option::Some(__v) = \
+                           ::serde::__private::opt_field(__fields, \"{f}\") {{ \
+                             __out.{f} = ::serde::Deserialize::from_value(__v)?; \
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = ::serde::__private::as_object(value, \"{name}\")?; \
+                 let mut __out = <{name} as ::std::default::Default>::default(); \
+                 {} \
+                 ::std::result::Result::Ok(__out)",
+                assigns.join(" ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::__private::req_field(__fields, \"{name}\", \"{f}\")?,")
+                })
+                .collect();
+            format!(
+                "let __fields = ::serde::__private::as_object(value, \"{name}\")?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__private::req_field(\
+                                       __inner, \"{name}::{vname}\", \"{f}\")?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => {{ \
+                               let __inner = ::serde::__private::as_object(\
+                                 __value, \"{name}::{vname}\")?; \
+                               ::std::result::Result::Ok({name}::{vname} {{ {} }}) \
+                             }}",
+                            inits.join(" ")
+                        ));
+                    }
+                    VariantKind::Newtype => tagged_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                           {name}::{vname}(::serde::Deserialize::from_value(__value)?)),"
+                    )),
+                }
+            }
+            format!(
+                "match value {{ \
+                   ::serde::Value::String(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                     let (__tag, __value) = &__fields[0]; \
+                     match __tag.as_str() {{ \
+                       {} \
+                       __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"invalid value for enum {name}: {{__other}}\"))), \
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

@@ -1,0 +1,522 @@
+//! Vendored minimal reimplementation of the `serde_json` API surface
+//! used by this workspace: [`to_string`], [`to_string_pretty`] and
+//! [`from_str`] over the vendored `serde` data model (see
+//! `vendor/README.md` for why the workspace vendors its dependencies).
+//!
+//! Formatting matches what the workspace needs for reproducibility:
+//! object fields print in struct declaration order, floats use Rust's
+//! shortest-round-trip `Display` (so parsing the output recovers the
+//! exact bits — the crates.io `float_roundtrip` feature), and pretty
+//! output indents with two spaces like crates.io `serde_json`.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching crates.io `serde_json`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// crates.io signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// crates.io signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or when the document does not
+/// match the target type's shape.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(v) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        Value::U64(v) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        Value::F64(v) => write_f64(out, *v),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+/// Writes an `f64` so that parsing the text recovers the exact bits
+/// (Rust's `Display` is shortest-round-trip). Non-finite values have no
+/// JSON representation and print as `null`, like crates.io `serde_json`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's `Display` is shortest-round-trip and never uses
+        // exponent notation.
+        let text = format!("{v}");
+        out.push_str(&text);
+        // Keep the number recognizably floating-point, matching
+        // crates.io serde_json (`1.0`, not `1`).
+        if !text.contains('.') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(s: &'s str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.err(&format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00));
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let text = std::str::from_utf8(chunk).map_err(|_| self.err("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&-2.0f64).unwrap(), "-2.0");
+        assert_eq!(to_string(&vec![0.5f64, 3.0]).unwrap(), "[0.5,3.0]");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &v in &[
+            0.1f64,
+            0.30000000000000004,
+            1.0 / 3.0,
+            6.02214076e23,
+            5e-324,
+            f64::MAX,
+        ] {
+            let s = to_string(&v).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {s}");
+        }
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\n\"quoted\"\tüñíçødé \\ backslash";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<f64>("--5").is_err());
+    }
+
+    #[test]
+    fn nested_objects_parse() {
+        let doc = r#"{"a": {"b": [1, 2.5, null]}, "c": "x"}"#;
+        let v: serde::Value = Parser::new(doc).parse_document().unwrap();
+        match v {
+            serde::Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0, "a");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}
