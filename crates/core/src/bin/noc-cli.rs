@@ -3,8 +3,12 @@
 //! ```text
 //! noc-cli run <spec.json>            run one experiment, print stats
 //! noc-cli run <spec.json> --reps 5   replicate over 5 seeds
+//! noc-cli run <spec.json> --audit    attach the runtime invariant
+//!                                    auditor; exit 1 on any violation
 //! noc-cli sweep <spec.json> --max 0.6 --steps 12 --reps 3
 //!                                    injection-rate sweep, CSV to stdout
+//! noc-cli conformance --nodes 16 --reps 2 --threads 4
+//!                                    differential conformance harness
 //! noc-cli example                    print an example spec
 //! noc-cli metrics <N>                analytical metrics at N nodes
 //! ```
@@ -17,8 +21,11 @@
 //! with `noc-cli example`.
 
 use noc_core::report::RunMetadata;
-use noc_core::{Experiment, Parallelism, TopologySpec, TrafficSpec};
-use noc_sim::SimConfig;
+use noc_core::{
+    matched_size_cases, run_conformance, run_indexed, Aggregate, Experiment, Parallelism,
+    TopologySpec, TrafficSpec,
+};
+use noc_sim::{AuditReport, SimConfig};
 use std::process::ExitCode;
 
 /// Parses a `--threads` value into a parallelism policy.
@@ -35,11 +42,12 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("conformance") => cmd_conformance(&args[1..]),
         Some("example") => cmd_example(),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: noc-cli run <spec.json> [--reps N] [--threads N] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | example | metrics <N>"
+                "usage: noc-cli run <spec.json> [--reps N] [--threads N] [--audit] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | conformance [--nodes N] [--reps N] [--threads N] | example | metrics <N>"
             );
             return ExitCode::from(2);
         }
@@ -56,6 +64,7 @@ fn main() -> ExitCode {
 fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing spec path")?;
     let mut reps = 1usize;
+    let mut audit = false;
     let mut parallelism = Parallelism::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -70,20 +79,25 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => {
                 parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?;
             }
+            "--audit" => audit = true,
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
     let spec = std::fs::read_to_string(path)?;
     let experiment: Experiment = serde_json::from_str(&spec)?;
     println!(
-        "running {} / {} at lambda = {} ({} replication{}, {})",
+        "running {} / {} at lambda = {} ({} replication{}, {}{})",
         experiment.topology.label()?,
         experiment.traffic.label(),
         experiment.config.injection_rate,
         reps,
         if reps == 1 { "" } else { "s" },
         RunMetadata::for_parallelism(parallelism),
+        if audit { ", audited" } else { "" },
     );
+    if audit {
+        return cmd_run_audited(&experiment, reps, parallelism);
+    }
     if reps == 1 {
         let result = experiment.run()?;
         println!("{}", result.stats);
@@ -95,18 +109,106 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     } else {
         let agg = experiment.run_replicated_with(reps, parallelism)?;
-        println!(
-            "throughput {:.4} ± {:.4} flits/cycle",
-            agg.throughput_mean, agg.throughput_std
-        );
-        println!(
-            "latency    {:.1} ± {:.1} cycles",
-            agg.latency_mean, agg.latency_std
-        );
-        println!("acceptance {:.3}", agg.acceptance_mean);
-        println!("mean hops  {:.3}", agg.mean_hops);
+        print_aggregate(&agg);
     }
     Ok(())
+}
+
+/// `run --audit`: every replication executes with the runtime invariant
+/// auditor attached; any violation makes the process exit nonzero.
+fn cmd_run_audited(
+    experiment: &Experiment,
+    reps: usize,
+    parallelism: Parallelism,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if reps == 0 {
+        return Err("--reps must be a positive integer".into());
+    }
+    let jobs: Vec<_> = (0..reps)
+        .map(|r| {
+            let experiment = experiment.clone();
+            let seed = experiment.config.seed.wrapping_add(r as u64);
+            move || experiment.run_audited_with_seed(seed)
+        })
+        .collect();
+    let outcomes: Vec<_> = run_indexed(jobs, parallelism)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    let reports: Vec<AuditReport> = outcomes.iter().map(|(_, rep)| rep.clone()).collect();
+    let runs: Vec<_> = outcomes.into_iter().map(|(run, _)| run).collect();
+    if runs.len() == 1 {
+        println!("{}", runs[0].stats);
+    } else {
+        print_aggregate(&Aggregate::from_runs(runs));
+    }
+    let checks: u64 = reports.iter().map(|r| r.checks).sum();
+    let flit_events: u64 = reports.iter().map(|r| r.flit_events).sum();
+    let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
+    println!(
+        "audit: {checks} checks, {flit_events} flit events, {violations} violation{}",
+        if violations == 1 { "" } else { "s" }
+    );
+    if violations > 0 {
+        for report in &reports {
+            for violation in &report.violations {
+                eprintln!("  {violation}");
+            }
+            if let Some(stall) = &report.stall {
+                eprintln!("  stall diagnosis: {stall:?}");
+            }
+        }
+        return Err(format!("audit found {violations} violation(s)").into());
+    }
+    Ok(())
+}
+
+fn print_aggregate(agg: &Aggregate) {
+    println!(
+        "throughput {:.4} ± {:.4} flits/cycle",
+        agg.throughput_mean, agg.throughput_std
+    );
+    println!(
+        "latency    {:.1} ± {:.1} cycles",
+        agg.latency_mean, agg.latency_std
+    );
+    println!("acceptance {:.3}", agg.acceptance_mean);
+    println!("mean hops  {:.3}", agg.mean_hops);
+}
+
+/// `conformance`: the differential harness over the paper's topology
+/// triple at matched sizes. Exits nonzero if any case fails.
+fn cmd_conformance(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut nodes, mut reps) = (16usize, 2usize);
+    let mut parallelism = Parallelism::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--nodes" => nodes = value.parse()?,
+            "--reps" => reps = value.parse()?,
+            "--threads" => parallelism = parse_threads(value)?,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let base = SimConfig::builder()
+        .warmup_cycles(200)
+        .measure_cycles(2_000)
+        .seed(42)
+        .build()?;
+    let cases = matched_size_cases(nodes, &base)?;
+    println!(
+        "conformance: {} case(s), {} replication(s), {}",
+        cases.len(),
+        reps,
+        RunMetadata::for_parallelism(parallelism)
+    );
+    let report = run_conformance(&cases, reps, parallelism)?;
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("conformance failed".into())
+    }
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,326 @@
+//! Differential conformance harness: replays identical seeded
+//! scenarios across execution modes and asserts they agree exactly.
+//!
+//! Three differences are checked for every case and replication seed:
+//!
+//! 1. **audited vs unaudited** — attaching the runtime invariant
+//!    auditor ([`noc_sim::audit`]) must not change a single bit of the
+//!    collected [`SimStats`](noc_sim::SimStats);
+//! 2. **sequential vs parallel** — running the audited replications
+//!    through the parallel experiment engine ([`crate::parallel`])
+//!    must be bit-identical to a sequential loop, stats *and* audit
+//!    reports;
+//! 3. **zero violations** — every audited run must come back clean.
+//!
+//! The default case grid replays the paper's topology triple (ring,
+//! Spidergon, 2D mesh) at matched sizes under homogeneous and single
+//! hot-spot traffic, below and above saturation — the scenarios behind
+//! the paper's figures. Any future "optimization" of the simulator hot
+//! path that changes behaviour trips one of the three differences
+//! immediately.
+//!
+//! Run it via [`run_conformance`], the `noc-cli conformance`
+//! subcommand, or the `conformance` integration test of this crate
+//! (CI exercises it with `NOC_THREADS=1` and `NOC_THREADS=4`).
+
+use crate::parallel::{run_indexed, Parallelism};
+use crate::{CoreError, Experiment, RunResult, TopologySpec, TrafficSpec};
+use core::fmt;
+use noc_sim::{AuditReport, SimConfig};
+
+/// One scenario the harness replays across execution modes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConformanceCase {
+    /// Short label for reports (e.g. `"spidergon-16/hotspot@0.40"`).
+    pub label: String,
+    /// The experiment to replay.
+    pub experiment: Experiment,
+}
+
+/// Outcome of one case after replaying all replications.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CaseOutcome {
+    /// Case label.
+    pub label: String,
+    /// Audited stats matched unaudited stats bit-for-bit on every seed.
+    pub audited_matches_unaudited: bool,
+    /// Parallel audited runs matched sequential audited runs (stats and
+    /// audit reports) bit-for-bit.
+    pub parallel_matches_sequential: bool,
+    /// Total audit violations over all audited runs (0 when clean).
+    pub violations: usize,
+    /// Total audit checks performed over all audited runs.
+    pub checks: u64,
+    /// Replications replayed.
+    pub replications: usize,
+}
+
+impl CaseOutcome {
+    /// `true` if every difference agreed and no violation was found.
+    pub fn passed(&self) -> bool {
+        self.audited_matches_unaudited && self.parallel_matches_sequential && self.violations == 0
+    }
+}
+
+impl fmt::Display for CaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] audit=stats:{} par=seq:{} violations:{} checks:{} reps:{}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.label,
+            self.audited_matches_unaudited,
+            self.parallel_matches_sequential,
+            self.violations,
+            self.checks,
+            self.replications,
+        )
+    }
+}
+
+/// Aggregated outcome of a conformance run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConformanceReport {
+    /// Per-case outcomes, in case order.
+    pub outcomes: Vec<CaseOutcome>,
+    /// Details of the first few divergences/violations, for debugging.
+    pub failures: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// `true` if every case passed.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(CaseOutcome::passed)
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for outcome in &self.outcomes {
+            writeln!(f, "{outcome}")?;
+        }
+        for failure in &self.failures {
+            writeln!(f, "  ! {failure}")?;
+        }
+        write!(
+            f,
+            "conformance: {}/{} case(s) passed",
+            self.outcomes.iter().filter(|o| o.passed()).count(),
+            self.outcomes.len()
+        )
+    }
+}
+
+/// Builds the default case grid: the paper's topology triple at a
+/// matched node count, under uniform and single hot-spot traffic, at a
+/// sub-saturation and a saturating injection rate.
+///
+/// `nodes` must suit all three topologies (Spidergon needs a multiple
+/// of 4; 16 matches the paper's small configuration).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSpec`] if `base.audit` is set (the
+/// harness controls auditing itself) or `nodes < 4`.
+pub fn matched_size_cases(
+    nodes: usize,
+    base: &SimConfig,
+) -> Result<Vec<ConformanceCase>, CoreError> {
+    if nodes < 4 {
+        return Err(CoreError::InvalidSpec {
+            reason: "conformance grid needs at least 4 nodes".to_owned(),
+        });
+    }
+    if base.audit {
+        return Err(CoreError::InvalidSpec {
+            reason: "base config must leave `audit` off; the harness toggles it per mode"
+                .to_owned(),
+        });
+    }
+    let topologies = [
+        TopologySpec::Ring { nodes },
+        TopologySpec::Spidergon { nodes },
+        TopologySpec::MeshBalanced { nodes },
+    ];
+    let traffics = [
+        TrafficSpec::Uniform,
+        TrafficSpec::SingleHotspot { target: 0 },
+    ];
+    // Below and above the hot-spot saturation point (~sink rate divided
+    // by the source count), so both free-flowing and congested switch
+    // allocation paths are replayed.
+    let rates = [0.1, 0.4];
+    let mut cases = Vec::new();
+    for topology in &topologies {
+        for traffic in &traffics {
+            for &rate in &rates {
+                let mut config = base.clone();
+                config.injection_rate = rate;
+                cases.push(ConformanceCase {
+                    label: format!("{}/{}@{rate:.2}", topology.label()?, traffic.label()),
+                    experiment: Experiment {
+                        topology: *topology,
+                        traffic: *traffic,
+                        config,
+                    },
+                });
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// Replays every case `replications` times in three modes — unaudited
+/// sequential, audited sequential, audited on the parallel engine —
+/// and reports whether they agree bit-for-bit with zero violations.
+///
+/// `parallelism` is the worker policy for the parallel mode
+/// (sequential execution of that mode still goes through the same
+/// engine code path, so `Parallelism::Sequential` degenerates to a
+/// self-comparison).
+///
+/// # Errors
+///
+/// Returns the first build/run error ([`CoreError`]); divergences and
+/// violations are reported in the [`ConformanceReport`], not as
+/// errors.
+pub fn run_conformance(
+    cases: &[ConformanceCase],
+    replications: usize,
+    parallelism: Parallelism,
+) -> Result<ConformanceReport, CoreError> {
+    if replications == 0 {
+        return Err(CoreError::InvalidSpec {
+            reason: "replications must be positive".to_owned(),
+        });
+    }
+    let mut outcomes = Vec::with_capacity(cases.len());
+    let mut failures = Vec::new();
+    for case in cases {
+        let seeds: Vec<u64> = (0..replications)
+            .map(|r| case.experiment.config.seed.wrapping_add(r as u64))
+            .collect();
+        // Mode 1: unaudited, sequential.
+        let plain: Vec<RunResult> = seeds
+            .iter()
+            .map(|&s| case.experiment.run_with_seed(s))
+            .collect::<Result<_, _>>()?;
+        // Mode 2: audited, sequential.
+        let audited_seq: Vec<(RunResult, AuditReport)> = seeds
+            .iter()
+            .map(|&s| case.experiment.run_audited_with_seed(s))
+            .collect::<Result<_, _>>()?;
+        // Mode 3: audited, on the parallel engine.
+        let jobs: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let experiment = case.experiment.clone();
+                move || experiment.run_audited_with_seed(s)
+            })
+            .collect();
+        let audited_par: Vec<(RunResult, AuditReport)> = run_indexed(jobs, parallelism)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        let audited_matches_unaudited = plain.iter().zip(&audited_seq).all(|(p, (a, _))| p == a);
+        if !audited_matches_unaudited {
+            failures.push(format!(
+                "{}: audited stats diverge from unaudited stats",
+                case.label
+            ));
+        }
+        let parallel_matches_sequential = audited_seq == audited_par;
+        if !parallel_matches_sequential {
+            failures.push(format!(
+                "{}: parallel audited runs diverge from sequential",
+                case.label
+            ));
+        }
+        let violations = audited_seq
+            .iter()
+            .map(|(_, rep)| rep.violations.len())
+            .sum();
+        if violations > 0 {
+            for (run, report) in &audited_seq {
+                for violation in &report.violations {
+                    failures.push(format!("{} seed {}: {violation}", case.label, run.seed));
+                }
+            }
+        }
+        outcomes.push(CaseOutcome {
+            label: case.label.clone(),
+            audited_matches_unaudited,
+            parallel_matches_sequential,
+            violations,
+            checks: audited_seq.iter().map(|(_, rep)| rep.checks).sum(),
+            replications,
+        });
+    }
+    failures.truncate(32);
+    Ok(ConformanceReport { outcomes, failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_triple_times_traffic_times_rates() {
+        let base = SimConfig::builder()
+            .warmup_cycles(10)
+            .measure_cycles(50)
+            .build()
+            .unwrap();
+        let cases = matched_size_cases(16, &base).unwrap();
+        assert_eq!(cases.len(), 12); // 3 topologies x 2 traffics x 2 rates
+        assert!(cases.iter().any(|c| c.label.contains("ring-16")));
+        assert!(cases.iter().any(|c| c.label.contains("mesh")));
+        assert!(cases.iter().any(|c| c.label.contains("hotspot")));
+    }
+
+    #[test]
+    fn grid_rejects_bad_inputs() {
+        let base = SimConfig::default();
+        assert!(matches!(
+            matched_size_cases(2, &base),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+        let mut audited = base.clone();
+        audited.audit = true;
+        assert!(matches!(
+            matched_size_cases(16, &audited),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_replications_rejected() {
+        assert!(matches!(
+            run_conformance(&[], 0, Parallelism::Sequential),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn report_formats_pass_and_fail() {
+        let pass = CaseOutcome {
+            label: "x".to_owned(),
+            audited_matches_unaudited: true,
+            parallel_matches_sequential: true,
+            violations: 0,
+            checks: 10,
+            replications: 1,
+        };
+        let mut fail = pass.clone();
+        fail.violations = 3;
+        assert!(pass.passed() && !fail.passed());
+        let report = ConformanceReport {
+            outcomes: vec![pass, fail],
+            failures: vec!["boom".to_owned()],
+        };
+        assert!(!report.passed());
+        let text = report.to_string();
+        assert!(text.contains("PASS") && text.contains("FAIL"), "{text}");
+        assert!(text.contains("1/2"), "{text}");
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::parallel::{run_experiment_jobs, ExperimentJob, Parallelism};
 use crate::{CoreError, TopologySpec, TrafficSpec};
-use noc_sim::{SimConfig, SimStats, Simulation};
+use noc_sim::{AuditReport, SimConfig, SimStats, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// A fully-specified simulation experiment.
@@ -96,6 +96,44 @@ impl Experiment {
             seed,
             stats,
         })
+    }
+
+    /// Runs once with an explicit seed and the runtime invariant
+    /// auditor attached ([`noc_sim::audit`]), regardless of
+    /// `config.audit`. Returns the run result together with the audit
+    /// findings.
+    ///
+    /// Auditing never perturbs the simulation: the returned
+    /// [`RunResult`] is identical to [`run_with_seed`] with the same
+    /// seed (the conformance harness in [`crate::conformance`] asserts
+    /// this bit-for-bit).
+    ///
+    /// [`run_with_seed`]: Self::run_with_seed
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_audited_with_seed(&self, seed: u64) -> Result<(RunResult, AuditReport), CoreError> {
+        let topo = self.topology.build()?;
+        let routing = self.topology.build_routing()?;
+        let pattern = self.traffic.build(&self.topology)?;
+        let mut config = self.config.clone();
+        config.seed = seed;
+        config.audit = true;
+        let topology_label = topo.label();
+        let mut sim = Simulation::new(topo, routing, pattern, config)?;
+        let stats = sim.run()?;
+        let report = sim.take_audit_report().unwrap_or_default();
+        Ok((
+            RunResult {
+                topology_label,
+                traffic_label: self.traffic.label(),
+                injection_rate: self.config.injection_rate,
+                seed,
+                stats,
+            },
+            report,
+        ))
     }
 
     /// Runs `replications` times with seeds `seed, seed+1, ...` and

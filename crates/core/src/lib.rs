@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod conformance;
 mod error;
 mod experiment;
 pub mod figures;
@@ -56,6 +57,9 @@ mod saturation;
 mod spec;
 mod sweep;
 
+pub use conformance::{
+    matched_size_cases, run_conformance, CaseOutcome, ConformanceCase, ConformanceReport,
+};
 pub use error::CoreError;
 pub use experiment::{mean_std, Aggregate, Experiment, RunResult};
 pub use figures::FigureOptions;

@@ -2,11 +2,34 @@
 //! terminating, and deadlock-free on arbitrary topology sizes.
 
 use noc_routing::{
-    cdg::CdgAnalysis, validate::validate_all_routes, MeshXY, RingShortestPath, RoutingAlgorithm,
-    SpidergonAcrossFirst, TableRouting,
+    cdg::CdgAnalysis,
+    validate::{validate_all_candidates, validate_all_routes, walk_route},
+    MeshXY, RingShortestPath, RoutingAlgorithm, SpidergonAcrossFirst, TableRouting,
 };
 use noc_topology::{IrregularMesh, RectMesh, Ring, Spidergon, Topology};
 use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Every route the algorithm produces stays within the topology
+/// diameter — the bound behind the paper's latency model (a minimal
+/// route can never be longer than the longest shortest path).
+fn assert_routes_within_diameter<A: RoutingAlgorithm>(
+    algo: &A,
+    topo: &dyn Topology,
+) -> Result<(), TestCaseError> {
+    let diameter = topo.graph().all_pairs_distances().diameter() as usize;
+    for src in topo.node_ids() {
+        for dst in topo.node_ids() {
+            let route = walk_route(algo, topo, src, dst).unwrap();
+            prop_assert!(
+                route.directions().len() <= diameter,
+                "{src}->{dst}: {} hops exceeds diameter {diameter}",
+                route.directions().len()
+            );
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -69,6 +92,52 @@ proptest! {
         let algo = TableRouting::from_topology(topo.as_ref());
         let report = validate_all_routes(&algo, topo.as_ref()).unwrap();
         prop_assert_eq!(report.non_minimal, 0);
+    }
+
+    #[test]
+    fn routes_never_exceed_diameter(pick in 0usize..3, size in 4usize..24) {
+        match pick {
+            0 => {
+                let topo = Ring::new(size).unwrap();
+                let algo = RingShortestPath::new(&topo);
+                assert_routes_within_diameter(&algo, &topo)?;
+            }
+            1 => {
+                let n = if size % 2 == 0 { size } else { size + 1 };
+                let topo = Spidergon::new(n).unwrap();
+                let algo = SpidergonAcrossFirst::new(&topo);
+                assert_routes_within_diameter(&algo, &topo)?;
+            }
+            _ => {
+                let topo = RectMesh::balanced(size).unwrap();
+                let algo = MeshXY::new(&topo);
+                assert_routes_within_diameter(&algo, &topo)?;
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_sets_validate_on_ring(n in 3usize..32) {
+        let topo = Ring::new(n).unwrap();
+        let algo = RingShortestPath::new(&topo);
+        prop_assert!(validate_all_candidates(&algo, &topo).is_ok());
+    }
+
+    #[test]
+    fn candidate_sets_validate_on_spidergon(half in 2usize..16) {
+        let topo = Spidergon::new(half * 2).unwrap();
+        let algo = SpidergonAcrossFirst::new(&topo);
+        prop_assert!(validate_all_candidates(&algo, &topo).is_ok());
+    }
+
+    #[test]
+    fn candidate_sets_validate_on_meshes(m in 1usize..6, n in 2usize..6) {
+        let full = RectMesh::new(m, n).unwrap();
+        prop_assert!(validate_all_candidates(&MeshXY::new(&full), &full).is_ok());
+        let irregular = IrregularMesh::new(n, m * n + 1).unwrap();
+        prop_assert!(
+            validate_all_candidates(&MeshXY::new_irregular(&irregular), &irregular).is_ok()
+        );
     }
 
     #[test]

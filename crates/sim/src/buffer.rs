@@ -175,6 +175,17 @@ impl InputBuffer {
         self.flits.len() < self.capacity
     }
 
+    /// Maximum number of flits the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterator over buffered flits, oldest first, regardless of
+    /// whether they have cleared the router pipeline yet.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter().map(|(flit, _)| flit)
+    }
+
     /// Number of buffered flits.
     pub fn len(&self) -> usize {
         self.flits.len()

@@ -73,6 +73,19 @@ pub struct SimConfig {
     /// [`input_buffer_capacity`](Self::input_buffer_capacity) to model
     /// overlapped pipelines.
     pub router_delay: u64,
+    /// Attach the runtime invariant auditor ([`crate::audit`]): flit
+    /// conservation, buffer bounds, wormhole ordering, route legality
+    /// and deadlock diagnosis are checked while the simulation runs,
+    /// with findings collected in a [`crate::AuditReport`]. Auditing
+    /// never changes simulation behaviour — an audited run produces
+    /// bit-identical statistics to an unaudited run of the same seed.
+    pub audit: bool,
+    /// Cycle stride of the auditor's whole-network sweep (conservation
+    /// and buffer checks): 1 audits every cycle, larger values trade
+    /// coverage for speed. Per-flit checks (route legality, wormhole
+    /// ordering) always run on every event. Ignored unless
+    /// [`audit`](Self::audit) is set.
+    pub audit_interval: u64,
 }
 
 impl SimConfig {
@@ -125,6 +138,8 @@ impl SimConfigBuilder {
                 record_deliveries: false,
                 sample_interval: 0,
                 router_delay: 0,
+                audit: false,
+                audit_interval: 1,
             },
         }
     }
@@ -207,6 +222,18 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables or disables the runtime invariant auditor.
+    pub fn audit(&mut self, enabled: bool) -> &mut Self {
+        self.config.audit = enabled;
+        self
+    }
+
+    /// Sets the cycle stride of the auditor's whole-network sweep.
+    pub fn audit_interval(&mut self, cycles: u64) -> &mut Self {
+        self.config.audit_interval = cycles;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -230,6 +257,8 @@ impl SimConfigBuilder {
             Some("measure_cycles must be positive")
         } else if c.stall_threshold == 0 {
             Some("stall_threshold must be positive")
+        } else if c.audit_interval == 0 {
+            Some("audit_interval must be positive")
         } else {
             None
         };
@@ -298,6 +327,21 @@ mod tests {
         assert!(SimConfig::builder().sink_rate(0).build().is_err());
         assert!(SimConfig::builder().measure_cycles(0).build().is_err());
         assert!(SimConfig::builder().stall_threshold(0).build().is_err());
+        assert!(SimConfig::builder().audit_interval(0).build().is_err());
+    }
+
+    #[test]
+    fn audit_fields_build_and_default_off() {
+        let cfg = SimConfig::default();
+        assert!(!cfg.audit);
+        assert_eq!(cfg.audit_interval, 1);
+        let cfg = SimConfig::builder()
+            .audit(true)
+            .audit_interval(16)
+            .build()
+            .unwrap();
+        assert!(cfg.audit);
+        assert_eq!(cfg.audit_interval, 16);
     }
 
     #[test]

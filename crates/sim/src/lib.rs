@@ -38,7 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Audit and error paths must report structured failures
+// (`AuditViolation`, `SimError`), never panic through `unwrap` —
+// enforced crate-wide outside tests (CI runs clippy with `-D
+// warnings`, so a violation fails the build).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod audit;
 mod buffer;
 mod config;
 pub mod des;
@@ -47,6 +53,7 @@ mod flit;
 mod network;
 mod stats;
 
+pub use audit::{AuditReport, AuditViolation, BufferClass, BufferRef, Invariant, StallDiagnosis};
 pub use buffer::{InputBuffer, OutputQueue, SlotRoute};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use error::SimError;

@@ -32,6 +32,7 @@
 //!    and tail flits follow the wormhole allocation; one write per
 //!    output port per cycle, inputs served round-robin.
 
+use crate::audit::{AuditReport, Auditor};
 use crate::buffer::{InputBuffer, OutputQueue, SlotRoute};
 use crate::des::{EventQueue, SimTime};
 use crate::stats::LinkLoad;
@@ -43,25 +44,28 @@ use rand::{rngs::SmallRng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Per-node router and network-interface state.
+///
+/// Crate-visible so the [`Auditor`] can read (never write) buffer
+/// contents when re-deriving occupancy and wormhole structure.
 #[derive(Debug)]
-struct NodeState {
+pub(crate) struct NodeState {
     /// Link directions at this node (canonical order).
-    dirs: Vec<Direction>,
+    pub(crate) dirs: Vec<Direction>,
     /// Per link direction: (peer node index, peer's input-port index).
-    peer: Vec<(usize, usize)>,
+    pub(crate) peer: Vec<(usize, usize)>,
     /// Output VC queues, indexed `[dir][vc]`.
-    out: Vec<Vec<OutputQueue>>,
+    pub(crate) out: Vec<Vec<OutputQueue>>,
     /// Local ejection queues towards the IP sink (one per ejection
     /// channel; the IP consumes up to `sink_rate` flits per cycle).
-    eject: Vec<OutputQueue>,
+    pub(crate) eject: Vec<OutputQueue>,
     /// Round-robin pointer over ejection queues for the sink.
     eject_rr: usize,
     /// Input buffers, indexed `[dir][vc]`.
-    input: Vec<Vec<InputBuffer>>,
+    pub(crate) input: Vec<Vec<InputBuffer>>,
     /// Per link direction: VC round-robin pointer for link arbitration.
     link_rr: Vec<usize>,
     /// Flits awaiting injection, whole packets back to back.
-    source_queue: VecDeque<Flit>,
+    pub(crate) source_queue: VecDeque<Flit>,
     /// Wormhole allocation of the packet currently being injected.
     source_route: Option<SlotRoute>,
     /// Rotating priority pointer for switch allocation.
@@ -97,19 +101,25 @@ struct NodeState {
 #[derive(Debug)]
 pub struct Simulation {
     topo: Box<dyn Topology>,
-    routing: Box<dyn RoutingAlgorithm>,
+    pub(crate) routing: Box<dyn RoutingAlgorithm>,
     /// `None` in trace-replay mode.
     pattern: Option<Box<dyn TrafficPattern>>,
     config: SimConfig,
-    vcs: usize,
+    pub(crate) vcs: usize,
     num_sources: usize,
     rng: SmallRng,
-    nodes: Vec<NodeState>,
+    pub(crate) nodes: Vec<NodeState>,
     arrivals: EventQueue<Arrival>,
     cycle: u64,
     next_packet: u64,
     /// Flits currently inside routers (not in source queues).
     in_network: u64,
+    /// Flits currently waiting in source queues, maintained
+    /// incrementally (generation adds, injection subtracts) so
+    /// [`source_backlog`](Self::source_backlog) is O(1) and consistent
+    /// with [`in_network`](Self::flits_in_network) at every phase
+    /// boundary of [`step`](Self::step).
+    source_flits: u64,
     /// Lifetime totals (warmup included), for conservation checks.
     total_flits_generated: u64,
     total_flits_consumed: u64,
@@ -126,10 +136,15 @@ pub struct Simulation {
     dir_scratch: Vec<Direction>,
     /// Reusable buffer for candidate (port, VC) allocations.
     route_scratch: Vec<SlotRoute>,
+    /// Runtime invariant auditor, attached when
+    /// [`SimConfig::audit`] is set. Boxed: the common unaudited path
+    /// pays one pointer; hooks take/restore it around calls so the
+    /// auditor can read the rest of the simulation.
+    auditor: Option<Box<Auditor>>,
 }
 
 /// Sentinel output-port index for the local ejection queue.
-const EJECT: usize = usize::MAX;
+pub(crate) const EJECT: usize = usize::MAX;
 
 /// Upper bound on ports per router: every non-local [`Direction`] plus
 /// the ejection port — lets switch allocation keep its per-port write
@@ -324,6 +339,18 @@ impl Simulation {
             });
         }
 
+        let auditor = if config.audit {
+            Some(Box::new(Auditor::attach(
+                topology.as_ref(),
+                routing.as_ref(),
+                &nodes,
+                vcs,
+                &config,
+            )))
+        } else {
+            None
+        };
+
         Ok(Simulation {
             topo: topology,
             routing,
@@ -336,6 +363,7 @@ impl Simulation {
             cycle: 0,
             next_packet: 0,
             in_network: 0,
+            source_flits: 0,
             total_flits_generated: 0,
             total_flits_consumed: 0,
             idle_cycles: 0,
@@ -346,6 +374,7 @@ impl Simulation {
             window_flits: 0,
             dir_scratch: Vec::new(),
             route_scratch: Vec::new(),
+            auditor,
             config,
         })
     }
@@ -416,8 +445,27 @@ impl Simulation {
     }
 
     /// Total flits waiting in source queues.
+    ///
+    /// Maintained incrementally alongside
+    /// [`flits_in_network`](Self::flits_in_network): generation adds,
+    /// injection subtracts, in the same phase as the queue mutation —
+    /// so the conservation identity `generated = consumed + backlog +
+    /// in-network` holds exactly at every cycle boundary (checked by
+    /// the audit layer each audited cycle).
     pub fn source_backlog(&self) -> u64 {
-        self.nodes.iter().map(|n| n.source_queue.len() as u64).sum()
+        self.source_flits
+    }
+
+    /// The audit findings so far, if auditing is enabled
+    /// ([`SimConfig::audit`]).
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.auditor.as_ref().map(|a| a.report())
+    }
+
+    /// Detaches the auditor and returns its final report, if auditing
+    /// was enabled. Subsequent cycles run unaudited.
+    pub fn take_audit_report(&mut self) -> Option<AuditReport> {
+        self.auditor.take().map(|a| a.into_report())
     }
 
     /// Runs warmup plus measurement and returns the collected
@@ -482,10 +530,20 @@ impl Simulation {
         moved |= self.transfer_links();
         moved |= self.allocate_switches();
         self.end_of_cycle_bookkeeping();
+        if let Some(mut auditor) = self.auditor.take() {
+            auditor.on_cycle_end(&*self);
+            self.auditor = Some(auditor);
+        }
 
         if !moved && self.in_network > 0 {
             self.idle_cycles += 1;
             if self.idle_cycles >= self.config.stall_threshold {
+                // Before reporting the stall, let the auditor inspect
+                // the wait-for graph to tell deadlock from starvation.
+                if let Some(mut auditor) = self.auditor.take() {
+                    auditor.on_stall(&*self);
+                    self.auditor = Some(auditor);
+                }
                 return Err(SimError::Stalled {
                     cycle: self.cycle,
                     flits_in_flight: self.in_network,
@@ -515,6 +573,7 @@ impl Simulation {
             self.next_packet += 1;
             let flits = Flit::packet(pid, src, dst, self.config.packet_len, self.cycle);
             self.total_flits_generated += flits.len() as u64;
+            self.source_flits += flits.len() as u64;
             if self.measuring {
                 self.stats.packets_generated += 1;
                 self.stats.flits_generated += flits.len() as u64;
@@ -555,6 +614,10 @@ impl Simulation {
                     moved = true;
                     self.in_network -= 1;
                     self.total_flits_consumed += 1;
+                    if let Some(mut auditor) = self.auditor.take() {
+                        auditor.on_consume(self.cycle, v, &flit);
+                        self.auditor = Some(auditor);
+                    }
                     if self.measuring {
                         self.stats.flits_delivered += 1;
                         self.stats.per_node_delivered[v] += 1;
@@ -613,6 +676,10 @@ impl Simulation {
                         let mut flit = self.nodes[v].out[d][vc].pop().expect("checked above");
                         self.nodes[v].link_rr[d] = (vc + 1) % self.vcs;
                         flit.hops += 1;
+                        if let Some(mut auditor) = self.auditor.take() {
+                            auditor.on_link_transfer(&*self, v, d, vc, &flit);
+                            self.auditor = Some(auditor);
+                        }
                         self.nodes[peer].input[peer_port][vc].receive(flit, eligible);
                         if self.measuring {
                             self.stats.link_traversals += 1;
@@ -791,6 +858,7 @@ impl Simulation {
             Some(route)
         };
         self.in_network += 1;
+        self.source_flits -= 1;
         if self.measuring {
             self.stats.flits_injected += 1;
         }

@@ -5,6 +5,7 @@
 use spidergon_noc::figures::{self, FigureOptions};
 use spidergon_noc::sim::SimConfig;
 use spidergon_noc::{sweep_rates, Experiment, TopologySpec, TrafficSpec};
+use std::path::PathBuf;
 
 fn opts() -> FigureOptions {
     let mut o = FigureOptions::quick();
@@ -185,6 +186,176 @@ fn full_stack_determinism() {
         exp.run_with_seed(5).unwrap().stats,
         exp.run_with_seed(6).unwrap().stats
     );
+}
+
+/// The golden reference scenarios under `tests/golden/`: one uniform
+/// and one hot-spot small-N run, stored as the full serialized
+/// [`spidergon_noc::RunResult`]. Any behavioural drift in topology
+/// construction, routing, traffic generation or the simulator core
+/// shows up as a numeric mismatch beyond 1e-9.
+///
+/// To regenerate after an *intentional* behaviour change:
+/// `NOC_UPDATE_GOLDEN=1 cargo test --test paper_claims golden`.
+fn golden_scenarios() -> Vec<(&'static str, Experiment)> {
+    let config = |rate: f64| {
+        SimConfig::builder()
+            .injection_rate(rate)
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .seed(20060306)
+            .build()
+            .unwrap()
+    };
+    vec![
+        (
+            "spidergon8_uniform.json",
+            Experiment {
+                topology: TopologySpec::Spidergon { nodes: 8 },
+                traffic: TrafficSpec::Uniform,
+                config: config(0.2),
+            },
+        ),
+        (
+            "ring8_hotspot.json",
+            Experiment {
+                topology: TopologySpec::Ring { nodes: 8 },
+                traffic: TrafficSpec::SingleHotspot { target: 0 },
+                config: config(0.3),
+            },
+        ),
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Numeric view of a JSON value, if it is a number.
+fn as_number(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::I64(i) => Some(*i as f64),
+        serde::Value::U64(u) => Some(*u as f64),
+        serde::Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Recursively compares two JSON values, allowing numeric drift up to
+/// `tol` (absolute). Returns the path of the first mismatch.
+fn json_diff(
+    actual: &serde::Value,
+    expected: &serde::Value,
+    path: &str,
+    tol: f64,
+) -> Option<String> {
+    use serde::Value;
+    if let (Some(a), Some(e)) = (as_number(actual), as_number(expected)) {
+        return if a == e || (a - e).abs() <= tol || (a.is_nan() && e.is_nan()) {
+            None
+        } else {
+            Some(format!(
+                "{path}: {a} != {e} (|diff| {} > {tol})",
+                (a - e).abs()
+            ))
+        };
+    }
+    match (actual, expected) {
+        (Value::Array(a), Value::Array(e)) => {
+            if a.len() != e.len() {
+                return Some(format!("{path}: array length {} != {}", a.len(), e.len()));
+            }
+            a.iter()
+                .zip(e)
+                .enumerate()
+                .find_map(|(i, (av, ev))| json_diff(av, ev, &format!("{path}[{i}]"), tol))
+        }
+        (Value::Object(a), Value::Object(e)) => {
+            let get = |o: &'_ [(String, Value)], k: &str| {
+                o.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone())
+            };
+            let mut keys: Vec<&String> = a.iter().chain(e.iter()).map(|(k, _)| k).collect();
+            keys.sort();
+            keys.dedup();
+            keys.into_iter().find_map(|k| match (get(a, k), get(e, k)) {
+                (Some(av), Some(ev)) => json_diff(&av, &ev, &format!("{path}.{k}"), tol),
+                (None, _) => Some(format!("{path}.{k}: missing in actual")),
+                (_, None) => Some(format!("{path}.{k}: not in golden file")),
+            })
+        }
+        _ => {
+            if actual == expected {
+                None
+            } else {
+                Some(format!("{path}: {} != {}", actual.kind(), expected.kind()))
+            }
+        }
+    }
+}
+
+/// Golden-figure regression: small-N reference results must not drift.
+#[test]
+fn golden_scenarios_match_reference() {
+    use serde::Serialize;
+    let update = std::env::var("NOC_UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    for (file, experiment) in golden_scenarios() {
+        let result = experiment.run().unwrap();
+        let path = golden_dir().join(file);
+        if update {
+            let pretty = serde_json::to_string_pretty(&result).unwrap();
+            std::fs::write(&path, pretty + "\n").unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} (regenerate with NOC_UPDATE_GOLDEN=1)",
+                path.display()
+            )
+        });
+        // A field rename/removal fails right here, in deserialization;
+        // numeric drift is caught below with the offending path.
+        let expected: spidergon_noc::RunResult = serde_json::from_str(&golden)
+            .unwrap_or_else(|e| panic!("{file}: golden file no longer matches RunResult: {e}"));
+        if let Some(diff) = json_diff(&result.to_value(), &expected.to_value(), file, 1e-9) {
+            panic!(
+                "golden scenario {file} drifted: {diff}\n\
+                 If the change is intentional, regenerate with \
+                 NOC_UPDATE_GOLDEN=1 cargo test --test paper_claims golden"
+            );
+        }
+    }
+}
+
+/// The tolerance machinery itself: exact match passes, drift beyond
+/// 1e-9 fails with the offending path, structural changes fail.
+#[test]
+fn golden_comparison_detects_drift() {
+    use serde::Value;
+    let tree = |y: f64, label: &str| {
+        Value::Object(vec![
+            (
+                "x".to_owned(),
+                Value::Array(vec![
+                    Value::F64(1.0),
+                    Value::Object(vec![("y".to_owned(), Value::F64(y))]),
+                ]),
+            ),
+            ("label".to_owned(), Value::String(label.to_owned())),
+        ])
+    };
+    let a = tree(2.0, "ring");
+    assert_eq!(json_diff(&a, &a, "r", 1e-9), None);
+    assert_eq!(json_diff(&a, &tree(2.0 + 1e-12, "ring"), "r", 1e-9), None);
+    let diff = json_diff(&a, &tree(2.1, "ring"), "r", 1e-9).unwrap();
+    assert!(diff.contains("r.x[1].y"), "{diff}");
+    assert!(json_diff(&a, &tree(2.0, "mesh"), "r", 1e-9).is_some());
+    // Integer-vs-float representations of the same number agree.
+    assert_eq!(json_diff(&Value::I64(3), &Value::F64(3.0), "n", 1e-9), None);
+    // Missing key is a structural mismatch.
+    let renamed = Value::Object(vec![("z".to_owned(), Value::F64(2.0))]);
+    let named = Value::Object(vec![("y".to_owned(), Value::F64(2.0))]);
+    assert!(json_diff(&named, &renamed, "r", 1e-9).is_some());
 }
 
 /// Extension figures: the torus extends the comparison (lower latency
