@@ -67,9 +67,49 @@ fn bench_hot_path_flits(c: &mut Criterion) {
     g.finish();
 }
 
+/// Probe overhead on the hot-path kernel: the default `NullProbe`
+/// (monomorphized to nothing — must sit within noise of the pre-probe
+/// baseline) against a full `Recorder` (every lifecycle event logged).
+fn bench_probe_overhead(c: &mut Criterion) {
+    use noc_core::Experiment;
+    let experiment = Experiment {
+        topology: TopologySpec::Spidergon { nodes: 32 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(0.3)
+            .warmup_cycles(0)
+            .measure_cycles(5_000)
+            .seed(2006)
+            .build()
+            .unwrap(),
+    };
+    let mut g = c.benchmark_group("probe");
+    g.sample_size(10);
+    g.bench_function("null_probe", |b| {
+        b.iter(|| {
+            black_box(
+                experiment
+                    .run_with_seed(experiment.config.seed)
+                    .unwrap()
+                    .stats
+                    .flits_delivered,
+            )
+        })
+    });
+    g.bench_function("recorder", |b| {
+        b.iter(|| {
+            let (run, rec) = experiment
+                .run_traced_with_seed(experiment.config.seed)
+                .unwrap();
+            black_box((run.stats.flits_delivered, rec.digest()))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = parallel;
     config = Criterion::default().sample_size(10);
-    targets = bench_parallel_sweep, bench_hot_path_flits
+    targets = bench_parallel_sweep, bench_hot_path_flits, bench_probe_overhead
 );
 criterion_main!(parallel);

@@ -10,12 +10,16 @@
 //! [--baseline <flits/sec>]` — `--baseline` embeds a pre-optimization
 //! measurement of the same kernel for before/after comparison.
 
+use noc_core::report::RunMetadata;
 use noc_core::{sweep_rates_with, Experiment, Parallelism, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use serde::Serialize;
 use std::time::Instant;
 
 const REPEATS: usize = 5;
+
+/// The seed every benchmark workload in this file is pinned to.
+const BENCH_SEED: u64 = 2006;
 
 #[derive(Serialize)]
 struct Workload {
@@ -41,6 +45,14 @@ struct Speedup {
 #[derive(Serialize)]
 struct BenchReport {
     workload: Workload,
+    /// How this report was produced: resolved worker threads, policy
+    /// and host cores — so numbers can be tied back to the machine.
+    run_metadata: RunMetadata,
+    /// The RNG seed all workloads are pinned to.
+    seed: u64,
+    /// `git describe --always --dirty` of the tree that was measured
+    /// (`null` when git is unavailable).
+    git_describe: Option<String>,
     host_cores: usize,
     sweep_seconds: SweepSeconds,
     speedup_vs_sequential: Speedup,
@@ -56,9 +68,24 @@ fn sweep_config() -> SimConfig {
     SimConfig::builder()
         .warmup_cycles(200)
         .measure_cycles(2_000)
-        .seed(2006)
+        .seed(BENCH_SEED)
         .build()
         .unwrap()
+}
+
+/// `git describe --always --dirty` of the working tree, or `None` when
+/// git is missing or the directory is not a repository.
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let desc = String::from_utf8(out.stdout).ok()?;
+    let desc = desc.trim();
+    (!desc.is_empty()).then(|| desc.to_owned())
 }
 
 /// Median wall-clock seconds of the reference sweep over [`REPEATS`]
@@ -95,7 +122,7 @@ fn flits_per_sec() -> f64 {
             .injection_rate(0.3)
             .warmup_cycles(0)
             .measure_cycles(5_000)
-            .seed(2006)
+            .seed(BENCH_SEED)
             .build()
             .unwrap(),
     };
@@ -139,6 +166,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             repeats: REPEATS,
             statistic: "median".to_owned(),
         },
+        run_metadata: RunMetadata::for_parallelism(Parallelism::default()),
+        seed: BENCH_SEED,
+        git_describe: git_describe(),
         host_cores,
         sweep_seconds: SweepSeconds {
             sequential,

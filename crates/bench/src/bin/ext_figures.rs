@@ -1,5 +1,6 @@
-//! Regenerates the extension figures: torus comparison and adaptive
-//! (West-First) vs deterministic (XY) mesh routing.
+//! Regenerates the extension figures: torus comparison, adaptive
+//! (West-First) vs deterministic (XY) mesh routing, and the per-link
+//! utilization heatmap under a single hot-spot.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = noc_bench::figure_options_from_env();
     let (tp, lat) = noc_core::figures::ext_torus(&opts)?;
@@ -10,5 +11,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     noc_bench::emit(&lat)?;
     noc_bench::emit(&noc_core::figures::ext_spidergon_routing(&opts)?)?;
     noc_bench::emit(&noc_core::figures::ext_mixed_hotspot(&opts)?)?;
+    noc_bench::emit(&noc_core::figures::ext_link_heatmap(&opts)?)?;
     Ok(())
 }

@@ -1,0 +1,108 @@
+//! Probe-overhead guard: fails (exit 1) when observability costs more
+//! than the contract allows.
+//!
+//! Two checks:
+//!
+//! 1. **Static** — `BENCH_sweep.json` (written by `bench_sweep
+//!    --baseline <pre-probe flits/sec>`) must show `hot_path_gain >=
+//!    0.97`: the simulator with the default `NullProbe` compiled in
+//!    stays within 3% of the pre-probe hot path, i.e. the probe layer
+//!    monomorphizes away.
+//! 2. **Live** — a run traced with a full `Recorder` must return
+//!    bit-identical `SimStats` to the untraced run: observation never
+//!    perturbs the simulation.
+//!
+//! A live NullProbe-vs-Recorder timing comparison is printed for
+//! information only (wall-clock on a busy CI host is too noisy to
+//! gate on).
+//!
+//! Usage: `cargo run --release --bin probe_guard [BENCH_sweep.json]`
+
+use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use serde::Deserialize;
+use std::time::Instant;
+
+/// The NullProbe hot path may lose at most 3% against the pre-probe
+/// baseline.
+const MIN_GAIN: f64 = 0.97;
+
+/// The slice of `BENCH_sweep.json` the guard cares about; every other
+/// field is ignored.
+#[derive(Default, Deserialize)]
+#[serde(default)]
+struct GainReport {
+    hot_path_flits_per_sec: f64,
+    hot_path_flits_per_sec_baseline: Option<f64>,
+    hot_path_gain: Option<f64>,
+}
+
+fn hot_path_experiment() -> Experiment {
+    Experiment {
+        topology: TopologySpec::Spidergon { nodes: 32 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(0.3)
+            .warmup_cycles(0)
+            .measure_cycles(5_000)
+            .seed(2006)
+            .build()
+            .unwrap(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+
+    // Static check: the committed benchmark report.
+    let report: GainReport = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    match (report.hot_path_gain, report.hot_path_flits_per_sec_baseline) {
+        (Some(gain), Some(baseline)) => {
+            println!(
+                "{path}: hot path {:.0} flits/sec vs pre-probe baseline {:.0} -> gain {:.4}",
+                report.hot_path_flits_per_sec, baseline, gain
+            );
+            if gain < MIN_GAIN {
+                return Err(format!(
+                    "NullProbe hot path regressed: gain {gain:.4} < {MIN_GAIN} \
+                     (more than 3% slower than the pre-probe baseline)"
+                )
+                .into());
+            }
+        }
+        _ => {
+            return Err(format!(
+                "{path} has no hot_path_gain/baseline — regenerate it with \
+                 `cargo run --release --bin bench_sweep -- --baseline <flits/sec>`"
+            )
+            .into());
+        }
+    }
+
+    // Live check: tracing must not perturb the simulation.
+    let experiment = hot_path_experiment();
+    let started = Instant::now();
+    let plain = experiment.run_with_seed(experiment.config.seed)?;
+    let plain_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let (traced, recorder) = experiment.run_traced_with_seed(experiment.config.seed)?;
+    let traced_secs = started.elapsed().as_secs_f64();
+    if plain != traced {
+        return Err("recorder perturbed the run: traced SimStats differ from untraced".into());
+    }
+    println!(
+        "recorder non-perturbation: OK ({} events, digest {:016x})",
+        recorder.events().len(),
+        recorder.digest()
+    );
+    println!(
+        "informational: untraced {:.3}s, recorder {:.3}s ({:+.1}% wall-clock)",
+        plain_secs,
+        traced_secs,
+        100.0 * (traced_secs - plain_secs) / plain_secs
+    );
+    println!("probe guard passed (gain >= {MIN_GAIN}, stats bit-identical)");
+    Ok(())
+}

@@ -7,6 +7,10 @@
 //!                                    auditor; exit 1 on any violation
 //! noc-cli sweep <spec.json> --max 0.6 --steps 12 --reps 3
 //!                                    injection-rate sweep, CSV to stdout
+//! noc-cli trace <spec.json> --out DIR --window 100
+//!                                    traced run: flit-lifecycle JSONL,
+//!                                    time-series CSV, per-link CSV and
+//!                                    a latency decomposition table
 //! noc-cli conformance --nodes 16 --reps 2 --threads 4
 //!                                    differential conformance harness
 //! noc-cli example                    print an example spec
@@ -42,12 +46,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("example") => cmd_example(),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: noc-cli run <spec.json> [--reps N] [--threads N] [--audit] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | conformance [--nodes N] [--reps N] [--threads N] | example | metrics <N>"
+                "usage: noc-cli run <spec.json> [--reps N] [--threads N] [--audit] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | trace <spec.json> [--out DIR] [--window N] | conformance [--nodes N] [--reps N] [--threads N] | example | metrics <N>"
             );
             return ExitCode::from(2);
         }
@@ -168,11 +173,65 @@ fn print_aggregate(agg: &Aggregate) {
         agg.throughput_mean, agg.throughput_std
     );
     println!(
-        "latency    {:.1} ± {:.1} cycles",
-        agg.latency_mean, agg.latency_std
+        "latency    {:.1} ± {:.1} cycles (p50 {} / p95 {} / p99 {})",
+        agg.latency_mean, agg.latency_std, agg.latency_p50, agg.latency_p95, agg.latency_p99
     );
     println!("acceptance {:.3}", agg.acceptance_mean);
     println!("mean hops  {:.3}", agg.mean_hops);
+}
+
+/// `trace`: run one experiment with the flit-lifecycle recorder
+/// attached and export its artifacts (JSONL event log, windowed
+/// time-series CSV, per-link utilization CSV) plus a latency
+/// decomposition table and a determinism digest.
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing spec path")?;
+    let mut out_dir = std::path::PathBuf::from("trace-out");
+    let mut window = noc_sim::Recorder::DEFAULT_WINDOW;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out_dir = value.into(),
+            "--window" => {
+                window = value.parse().map_err(|_| "--window must be an integer")?;
+                if window == 0 {
+                    return Err("--window must be positive".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let experiment: Experiment = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    println!(
+        "tracing {} / {} at lambda = {} (window {window})",
+        experiment.topology.label()?,
+        experiment.traffic.label(),
+        experiment.config.injection_rate,
+    );
+    let recorder = noc_sim::Recorder::with_window(window);
+    let (result, recorder) = experiment.run_traced_with(experiment.config.seed, recorder)?;
+    std::fs::create_dir_all(&out_dir)?;
+    std::fs::write(out_dir.join("trace.jsonl"), recorder.to_jsonl())?;
+    std::fs::write(out_dir.join("timeseries.csv"), recorder.timeseries_csv())?;
+    std::fs::write(out_dir.join("links.csv"), recorder.links_csv())?;
+    println!("{}", result.stats);
+    println!(
+        "{}",
+        noc_core::report::latency_summary(&result.stats.latency)
+    );
+    print!(
+        "{}",
+        noc_core::report::breakdown_table(recorder.breakdown())
+    );
+    println!(
+        "{} events, {} windows -> {}",
+        recorder.events().len(),
+        recorder.windows().len(),
+        out_dir.display()
+    );
+    println!("digest {:016x}", recorder.digest());
+    Ok(())
 }
 
 /// `conformance`: the differential harness over the paper's topology
@@ -242,17 +301,22 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         sweep.traffic_label,
         RunMetadata::for_parallelism(parallelism)
     );
-    println!("rate,throughput,throughput_std,latency,latency_std,acceptance,mean_hops");
+    println!(
+        "rate,throughput,throughput_std,latency,latency_std,acceptance,mean_hops,latency_p50,latency_p95,latency_p99"
+    );
     for p in &sweep.points {
         println!(
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             p.rate,
             p.throughput_mean,
             p.throughput_std,
             p.latency_mean,
             p.latency_std,
             p.acceptance,
-            p.mean_hops
+            p.mean_hops,
+            p.latency_p50,
+            p.latency_p95,
+            p.latency_p99
         );
     }
     Ok(())

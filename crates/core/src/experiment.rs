@@ -3,7 +3,7 @@
 
 use crate::parallel::{run_experiment_jobs, ExperimentJob, Parallelism};
 use crate::{CoreError, TopologySpec, TrafficSpec};
-use noc_sim::{AuditReport, SimConfig, SimStats, Simulation};
+use noc_sim::{AuditReport, LatencyStats, Recorder, SimConfig, SimStats, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// A fully-specified simulation experiment.
@@ -136,6 +136,58 @@ impl Experiment {
         ))
     }
 
+    /// Runs once with an explicit seed and a recording probe attached
+    /// ([`noc_sim::probe`]): the **probed run mode**. Returns the run
+    /// result together with the recorder holding the flit-lifecycle
+    /// trace, time-series windows and latency decomposition.
+    ///
+    /// Probing never perturbs the simulation: the returned
+    /// [`RunResult`] is bit-identical to [`run_with_seed`] with the
+    /// same seed, and because a run is seed-deterministic the
+    /// recorder's exports are byte-identical for any worker-thread
+    /// count of the surrounding engine (asserted in
+    /// `crates/core/tests/trace.rs`).
+    ///
+    /// [`run_with_seed`]: Self::run_with_seed
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_traced_with_seed(&self, seed: u64) -> Result<(RunResult, Recorder), CoreError> {
+        self.run_traced_with(seed, Recorder::new())
+    }
+
+    /// [`run_traced_with_seed`](Self::run_traced_with_seed) with a
+    /// caller-configured recorder (e.g. a custom time-series window).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_traced_with(
+        &self,
+        seed: u64,
+        recorder: Recorder,
+    ) -> Result<(RunResult, Recorder), CoreError> {
+        let topo = self.topology.build()?;
+        let routing = self.topology.build_routing()?;
+        let pattern = self.traffic.build(&self.topology)?;
+        let mut config = self.config.clone();
+        config.seed = seed;
+        let topology_label = topo.label();
+        let mut sim = Simulation::with_probe(topo, routing, pattern, config, recorder)?;
+        let stats = sim.run()?;
+        Ok((
+            RunResult {
+                topology_label,
+                traffic_label: self.traffic.label(),
+                injection_rate: self.config.injection_rate,
+                seed,
+                stats,
+            },
+            sim.into_probe(),
+        ))
+    }
+
     /// Runs `replications` times with seeds `seed, seed+1, ...` and
     /// aggregates throughput and latency.
     ///
@@ -195,6 +247,16 @@ pub struct Aggregate {
     pub acceptance_mean: f64,
     /// Mean hops per delivered packet, averaged over runs.
     pub mean_hops: f64,
+    /// Median packet latency over the merged histogram of all runs
+    /// (0 when nothing was delivered).
+    #[serde(default)]
+    pub latency_p50: u64,
+    /// 95th-percentile packet latency over the merged histogram.
+    #[serde(default)]
+    pub latency_p95: u64,
+    /// 99th-percentile packet latency over the merged histogram.
+    #[serde(default)]
+    pub latency_p99: u64,
 }
 
 impl Aggregate {
@@ -217,6 +279,13 @@ impl Aggregate {
         let (latency_mean, latency_std) = mean_std(&latencies);
         let (acceptance_mean, _) = mean_std(&acceptance);
         let (mean_hops, _) = mean_std(&hops);
+        // Percentiles come from the merged histogram — the percentile
+        // of the pooled samples, not a mean of per-run percentiles.
+        let mut merged = LatencyStats::new();
+        for run in &runs {
+            merged.merge(&run.stats.latency);
+        }
+        let pct = |p: f64| merged.percentile(p).unwrap_or(0);
         Aggregate {
             runs,
             throughput_mean,
@@ -225,6 +294,9 @@ impl Aggregate {
             latency_std,
             acceptance_mean,
             mean_hops,
+            latency_p50: pct(50.0),
+            latency_p95: pct(95.0),
+            latency_p99: pct(99.0),
         }
     }
 }
@@ -280,6 +352,8 @@ mod tests {
         assert!(agg.latency_mean > 0.0);
         assert!(agg.acceptance_mean > 0.9);
         assert!(agg.mean_hops > 1.0);
+        assert!(agg.latency_p50 > 0);
+        assert!(agg.latency_p50 <= agg.latency_p95 && agg.latency_p95 <= agg.latency_p99);
         // Distinct seeds were used.
         let seeds: std::collections::HashSet<u64> = agg.runs.iter().map(|r| r.seed).collect();
         assert_eq!(seeds.len(), 4);
@@ -299,6 +373,19 @@ mod tests {
         let a = exp.run_with_seed(77).unwrap();
         let b = exp.run_with_seed(77).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let exp = quick(0.2);
+        let plain = exp.run_with_seed(9).unwrap();
+        let (traced, rec) = exp.run_traced_with_seed(9).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        assert!(!rec.events().is_empty());
+        assert_eq!(
+            rec.breakdown().total.count() as usize,
+            rec.packet_timings().len()
+        );
     }
 
     #[test]

@@ -194,6 +194,74 @@ fn format_number(v: f64) -> String {
     }
 }
 
+/// One-line latency summary of a run: mean plus the p50/p95/p99 order
+/// statistics from the histogram ("-" where nothing was delivered).
+///
+/// # Examples
+///
+/// ```
+/// use noc_core::report::latency_summary;
+/// use noc_sim::LatencyStats;
+///
+/// let mut lat = LatencyStats::new();
+/// for v in [8, 9, 10, 30] {
+///     lat.record(v);
+/// }
+/// let line = latency_summary(&lat);
+/// assert!(line.contains("p95 30"));
+/// ```
+pub fn latency_summary(latency: &noc_sim::LatencyStats) -> String {
+    let pct = |p: f64| {
+        latency
+            .percentile(p)
+            .map_or_else(|| "-".to_owned(), |v| v.to_string())
+    };
+    format!(
+        "latency mean {:.2} cycles, p50 {} / p95 {} / p99 {} / max {}",
+        latency.mean().unwrap_or(0.0),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        latency
+            .max()
+            .map_or_else(|| "-".to_owned(), |v| v.to_string()),
+    )
+}
+
+/// Aligned text table of a recorded latency decomposition
+/// ([`noc_sim::LatencyBreakdown`]): one row per component plus the
+/// end-to-end total, with count, mean, percentiles and the share of
+/// the total mean each component accounts for.
+pub fn breakdown_table(breakdown: &noc_sim::LatencyBreakdown) -> String {
+    let total_mean = breakdown.total.mean().unwrap_or(0.0);
+    let mut out =
+        String::from("component        count     mean    p50    p95    p99    max  share\n");
+    for (label, stats) in [
+        ("source_queuing", &breakdown.source_queuing),
+        ("router_blocking", &breakdown.router_blocking),
+        ("transfer", &breakdown.transfer),
+        ("total", &breakdown.total),
+    ] {
+        let mean = stats.mean().unwrap_or(0.0);
+        let pct = |p: f64| stats.percentile(p).unwrap_or(0);
+        let share = if total_mean > 0.0 {
+            format!("{:5.1}%", 100.0 * mean / total_mean)
+        } else {
+            "     -".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "{label:<15} {count:>6} {mean:>8.2} {p50:>6} {p95:>6} {p99:>6} {max:>6}  {share}",
+            count = stats.count(),
+            p50 = pct(50.0),
+            p95 = pct(95.0),
+            p99 = pct(99.0),
+            max = stats.max().unwrap_or(0),
+        );
+    }
+    out
+}
+
 /// Execution metadata for one run or sweep invocation, recorded so a
 /// result can be tied back to how it was produced. Thread count is
 /// informational only — output is bit-identical for any worker count
@@ -291,6 +359,37 @@ mod tests {
     fn number_formatting() {
         assert_eq!(format_number(4.0), "4");
         assert_eq!(format_number(0.12345), "0.1235"); // {:.4} rounds
+    }
+
+    #[test]
+    fn latency_summary_handles_empty_and_filled() {
+        let empty = latency_summary(&noc_sim::LatencyStats::new());
+        assert!(empty.contains("p50 - / p95 - / p99 -"));
+        let mut lat = noc_sim::LatencyStats::new();
+        for v in 1..=100 {
+            lat.record(v);
+        }
+        let line = latency_summary(&lat);
+        assert!(
+            line.contains("p50 50 / p95 95 / p99 99 / max 100"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn breakdown_table_lists_all_components() {
+        let mut b = noc_sim::LatencyBreakdown::default();
+        b.source_queuing.record(2);
+        b.router_blocking.record(3);
+        b.transfer.record(5);
+        b.total.record(10);
+        let table = breakdown_table(&b);
+        for label in ["source_queuing", "router_blocking", "transfer", "total"] {
+            assert!(table.contains(label), "{table}");
+        }
+        // Shares: 20% + 30% + 50% = the total's 100%.
+        assert!(table.contains("20.0%") && table.contains("30.0%") && table.contains("50.0%"));
+        assert!(table.contains("100.0%"));
     }
 
     #[test]

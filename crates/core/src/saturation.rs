@@ -89,6 +89,9 @@ mod tests {
                     latency_std: 0.0,
                     acceptance: a,
                     mean_hops: 2.0,
+                    latency_p50: 10,
+                    latency_p95: 10,
+                    latency_p99: 10,
                 })
                 .collect(),
         }

@@ -22,6 +22,16 @@ pub struct SweepPoint {
     pub acceptance: f64,
     /// Mean hops per delivered packet.
     pub mean_hops: f64,
+    /// Median packet latency over the merged histogram of all
+    /// replications at this rate (0 when nothing was delivered).
+    #[serde(default)]
+    pub latency_p50: u64,
+    /// 95th-percentile packet latency over the merged histogram.
+    #[serde(default)]
+    pub latency_p95: u64,
+    /// 99th-percentile packet latency over the merged histogram.
+    #[serde(default)]
+    pub latency_p99: u64,
 }
 
 /// Result of sweeping one (topology, traffic) pair over several rates.
@@ -206,6 +216,9 @@ fn point_from_aggregate(rate: f64, agg: &Aggregate) -> SweepPoint {
         latency_std: agg.latency_std,
         acceptance: agg.acceptance_mean,
         mean_hops: agg.mean_hops,
+        latency_p50: agg.latency_p50,
+        latency_p95: agg.latency_p95,
+        latency_p99: agg.latency_p99,
     }
 }
 
@@ -252,6 +265,10 @@ mod tests {
         assert!(tp[0] < tp[1] && tp[1] < tp[2], "{tp:?}");
         assert_eq!(result.throughput_xy().len(), 3);
         assert_eq!(result.latency_xy().len(), 3);
+        for p in &result.points {
+            assert!(p.latency_p50 > 0);
+            assert!(p.latency_p50 <= p.latency_p95 && p.latency_p95 <= p.latency_p99);
+        }
     }
 
     #[test]

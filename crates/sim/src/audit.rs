@@ -50,6 +50,7 @@
 //! miscompiled or hand-"optimized" fast path is caught by the slow one.
 
 use crate::network::{NodeState, Simulation, EJECT};
+use crate::probe::Probe;
 use crate::{Flit, PacketId, SimConfig};
 use core::fmt;
 use noc_routing::cdg::CdgAnalysis;
@@ -411,9 +412,9 @@ impl Auditor {
 
     /// Observes one flit crossing the link `(v, dirs[d])` on `vc`.
     /// `flit` is the flit *after* its hop counter was incremented.
-    pub(crate) fn on_link_transfer(
+    pub(crate) fn on_link_transfer<Q: Probe>(
         &mut self,
-        sim: &Simulation,
+        sim: &Simulation<Q>,
         v: usize,
         d: usize,
         vc: usize,
@@ -487,9 +488,9 @@ impl Auditor {
     /// Route legality of one head-flit hop: membership in the routing
     /// algorithm's candidate set, and strict progress under the BFS
     /// distance oracle when the algorithm is minimal.
-    fn check_hop_legality(
+    fn check_hop_legality<Q: Probe>(
         &mut self,
-        sim: &Simulation,
+        sim: &Simulation<Q>,
         v: usize,
         peer: usize,
         dir: Direction,
@@ -609,7 +610,7 @@ impl Auditor {
     /// Per-cycle sweep (every `audit_interval` cycles): conservation
     /// identity, counter consistency, buffer bounds and queue
     /// structure.
-    pub(crate) fn on_cycle_end(&mut self, sim: &Simulation) {
+    pub(crate) fn on_cycle_end<Q: Probe>(&mut self, sim: &Simulation<Q>) {
         if !sim.cycle().is_multiple_of(self.interval) {
             return;
         }
@@ -670,7 +671,7 @@ impl Auditor {
 
     /// Capacity and wormhole-structure checks for every buffer of one
     /// node.
-    fn check_node_buffers(&mut self, sim: &Simulation, v: usize, cycle: u64) {
+    fn check_node_buffers<Q: Probe>(&mut self, sim: &Simulation<Q>, v: usize, cycle: u64) {
         let node = &sim.nodes[v];
         let id = NodeId::new(v);
         for d in 0..node.dirs.len() {
@@ -783,7 +784,7 @@ impl Auditor {
 
     /// Called when the stall watchdog fires: inspects the wait-for
     /// graph of blocked VCs to tell deadlock from starvation.
-    pub(crate) fn on_stall(&mut self, sim: &Simulation) {
+    pub(crate) fn on_stall<Q: Probe>(&mut self, sim: &Simulation<Q>) {
         self.report.checks += 1;
         match find_circular_wait(sim) {
             Some(chain) => {
@@ -829,7 +830,7 @@ impl Auditor {
 /// Ejection queues are sinks (the IP drains them every cycle) and
 /// source queues hold no network resource, so neither can close a
 /// cycle.
-fn find_circular_wait(sim: &Simulation) -> Option<Vec<BufferRef>> {
+fn find_circular_wait<Q: Probe>(sim: &Simulation<Q>) -> Option<Vec<BufferRef>> {
     let vcs = sim.vcs;
     let n = sim.nodes.len();
     // Resource ids: per node, `dirs.len() * vcs` input slots followed by

@@ -51,6 +51,7 @@ pub mod des;
 mod error;
 mod flit;
 mod network;
+pub mod probe;
 mod stats;
 
 pub use audit::{AuditReport, AuditViolation, BufferClass, BufferRef, Invariant, StallDiagnosis};
@@ -59,4 +60,8 @@ pub use config::{SimConfig, SimConfigBuilder};
 pub use error::SimError;
 pub use flit::{Flit, FlitKind, PacketId};
 pub use network::{Delivery, Occupancy, Simulation};
+pub use probe::{
+    BufferPeak, LatencyBreakdown, NetworkShape, NullProbe, PacketTiming, Probe, Recorder,
+    TraceEvent, WindowSample,
+};
 pub use stats::{confidence_interval, mser_truncation, LatencyStats, LinkLoad, SimStats};

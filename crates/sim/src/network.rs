@@ -35,6 +35,7 @@
 use crate::audit::{AuditReport, Auditor};
 use crate::buffer::{InputBuffer, OutputQueue, SlotRoute};
 use crate::des::{EventQueue, SimTime};
+use crate::probe::{NetworkShape, NullProbe, Probe};
 use crate::stats::LinkLoad;
 use crate::{Flit, PacketId, SimConfig, SimError, SimStats};
 use noc_routing::RoutingAlgorithm;
@@ -77,6 +78,12 @@ pub(crate) struct NodeState {
 /// A complete wormhole NoC simulation: topology + routing + traffic +
 /// configuration, advanced in synchronous cycles.
 ///
+/// The type parameter `P` is the attached observation probe
+/// ([`crate::probe`]). It defaults to [`NullProbe`], whose empty
+/// inlined hooks monomorphize away — the plain simulator pays nothing
+/// for the instrumentation points. Attach a recording probe with
+/// [`with_probe`](Simulation::with_probe).
+///
 /// # Examples
 ///
 /// ```
@@ -99,7 +106,7 @@ pub(crate) struct NodeState {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Simulation {
+pub struct Simulation<P: Probe = NullProbe> {
     topo: Box<dyn Topology>,
     pub(crate) routing: Box<dyn RoutingAlgorithm>,
     /// `None` in trace-replay mode.
@@ -141,6 +148,9 @@ pub struct Simulation {
     /// pays one pointer; hooks take/restore it around calls so the
     /// auditor can read the rest of the simulation.
     auditor: Option<Box<Auditor>>,
+    /// Observation probe: hooks fire on every lifecycle transition.
+    /// [`NullProbe`] (the default) compiles them all away.
+    probe: P,
 }
 
 /// Sentinel output-port index for the local ejection queue.
@@ -226,12 +236,7 @@ impl Simulation {
                 pattern: pattern.num_nodes(),
             });
         }
-        let sources: Vec<NodeId> = pattern.sources();
-        let is_source = |v: NodeId| sources.binary_search(&v).is_ok();
-        let mut sim = Self::assemble(topology, routing, Some(pattern), config, &is_source)?;
-        sim.num_sources = sources.len();
-        sim.schedule_initial_arrivals();
-        Ok(sim)
+        Simulation::with_probe(topology, routing, pattern, config, NullProbe)
     }
 
     /// Builds a **trace-replay** simulation: packets are injected
@@ -262,7 +267,7 @@ impl Simulation {
         }
         let sources = trace.sources();
         let is_source = |v: NodeId| sources.binary_search(&v).is_ok();
-        let mut sim = Self::assemble(topology, routing, None, config, &is_source)?;
+        let mut sim = Self::assemble(topology, routing, None, config, &is_source, NullProbe)?;
         sim.num_sources = sources.len();
         for entry in trace.entries() {
             sim.arrivals.schedule(
@@ -275,6 +280,43 @@ impl Simulation {
         }
         Ok(sim)
     }
+}
+
+impl<P: Probe> Simulation<P> {
+    /// Builds a simulation like [`Simulation::new`] with an observation
+    /// probe attached ([`crate::probe`]).
+    ///
+    /// The probe receives the network description once
+    /// ([`Probe::on_attach`]) and every lifecycle hook afterwards; read
+    /// it back with [`probe`](Self::probe) or
+    /// [`into_probe`](Self::into_probe) after running. Probes only
+    /// observe — a probed run yields bit-identical
+    /// [`SimStats`](crate::SimStats) to an unprobed run with the same
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::new`].
+    pub fn with_probe(
+        topology: Box<dyn Topology>,
+        routing: Box<dyn RoutingAlgorithm>,
+        pattern: Box<dyn TrafficPattern>,
+        config: SimConfig,
+        probe: P,
+    ) -> Result<Simulation<P>, SimError> {
+        if pattern.num_nodes() != topology.num_nodes() {
+            return Err(SimError::NodeCountMismatch {
+                topology: topology.num_nodes(),
+                pattern: pattern.num_nodes(),
+            });
+        }
+        let sources: Vec<NodeId> = pattern.sources();
+        let is_source = |v: NodeId| sources.binary_search(&v).is_ok();
+        let mut sim = Self::assemble(topology, routing, Some(pattern), config, &is_source, probe)?;
+        sim.num_sources = sources.len();
+        sim.schedule_initial_arrivals();
+        Ok(sim)
+    }
 
     fn assemble(
         topology: Box<dyn Topology>,
@@ -282,7 +324,8 @@ impl Simulation {
         pattern: Option<Box<dyn TrafficPattern>>,
         config: SimConfig,
         is_source: &dyn Fn(NodeId) -> bool,
-    ) -> Result<Self, SimError> {
+        mut probe: P,
+    ) -> Result<Simulation<P>, SimError> {
         let vcs = routing.num_vcs_required().max(1);
         let n = topology.num_nodes();
         let mut nodes = Vec::with_capacity(n);
@@ -351,6 +394,17 @@ impl Simulation {
             None
         };
 
+        probe.on_attach(NetworkShape {
+            num_nodes: n,
+            vcs,
+            packet_len: config.packet_len,
+            router_delay: config.router_delay,
+            warmup_cycles: config.warmup_cycles,
+            sink_channels: config.sink_rate,
+            dirs: nodes.iter().map(|node| node.dirs.clone()).collect(),
+            peer: nodes.iter().map(|node| node.peer.clone()).collect(),
+        });
+
         Ok(Simulation {
             topo: topology,
             routing,
@@ -375,6 +429,7 @@ impl Simulation {
             dir_scratch: Vec::new(),
             route_scratch: Vec::new(),
             auditor,
+            probe,
             config,
         })
     }
@@ -468,6 +523,17 @@ impl Simulation {
         self.auditor.take().map(|a| a.into_report())
     }
 
+    /// The attached observation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the simulation and returns its probe (typically a
+    /// [`crate::Recorder`] holding the captured trace).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Runs warmup plus measurement and returns the collected
     /// statistics.
     ///
@@ -530,6 +596,7 @@ impl Simulation {
         moved |= self.transfer_links();
         moved |= self.allocate_switches();
         self.end_of_cycle_bookkeeping();
+        self.probe.on_cycle_end(self.cycle);
         if let Some(mut auditor) = self.auditor.take() {
             auditor.on_cycle_end(&*self);
             self.auditor = Some(auditor);
@@ -572,6 +639,8 @@ impl Simulation {
             let pid = PacketId::new(self.next_packet);
             self.next_packet += 1;
             let flits = Flit::packet(pid, src, dst, self.config.packet_len, self.cycle);
+            self.probe
+                .on_generate(self.cycle, pid, src, dst, flits.len());
             self.total_flits_generated += flits.len() as u64;
             self.source_flits += flits.len() as u64;
             if self.measuring {
@@ -618,6 +687,7 @@ impl Simulation {
                         auditor.on_consume(self.cycle, v, &flit);
                         self.auditor = Some(auditor);
                     }
+                    self.probe.on_consume(self.cycle, v, q, &flit);
                     if self.measuring {
                         self.stats.flits_delivered += 1;
                         self.stats.per_node_delivered[v] += 1;
@@ -680,6 +750,7 @@ impl Simulation {
                             auditor.on_link_transfer(&*self, v, d, vc, &flit);
                             self.auditor = Some(auditor);
                         }
+                        self.probe.on_link_traverse(self.cycle, v, d, vc, &flit);
                         self.nodes[peer].input[peer_port][vc].receive(flit, eligible);
                         if self.measuring {
                             self.stats.link_traversals += 1;
@@ -815,6 +886,9 @@ impl Simulation {
         let Some(route) = placed else {
             return false;
         };
+        let out_port = (route.out_port != EJECT).then_some(route.out_port);
+        self.probe
+            .on_buffer_exit(self.cycle, v, d, vc, out_port, route.out_vc, &flit);
         let node = &mut self.nodes[v];
         node.input[d][vc].take_ready(now);
         node.input[d][vc].route = if flit.kind.is_tail() {
@@ -850,6 +924,8 @@ impl Simulation {
         let Some(route) = placed else {
             return false;
         };
+        self.probe
+            .on_inject(self.cycle, v, route.out_port, route.out_vc, &flit);
         let node = &mut self.nodes[v];
         node.source_queue.pop_front();
         node.source_route = if flit.kind.is_tail() {

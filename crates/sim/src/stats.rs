@@ -379,13 +379,18 @@ impl SimStats {
 
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = |p: f64| {
+            self.latency
+                .percentile(p)
+                .map_or_else(|| "-".to_owned(), |v| v.to_string())
+        };
         write!(
             f,
-            "throughput {:.4} flits/cycle, latency {} cycles (mean {:.1}), delivered {} packets in {} cycles",
+            "throughput {:.4} flits/cycle, latency p50 {} / p95 {} / p99 {} cycles (mean {:.1}), delivered {} packets in {} cycles",
             self.throughput_flits_per_cycle(),
-            self.latency
-                .percentile(50.0)
-                .map_or_else(|| "-".to_owned(), |p| p.to_string()),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
             self.latency.mean().unwrap_or(0.0),
             self.packets_delivered,
             self.measured_cycles,
@@ -452,6 +457,56 @@ mod tests {
         let before = a.clone();
         a.merge(&LatencyStats::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_accumulates_saturated_overflow_bins() {
+        // Both sides hold samples beyond the last exact bin; the merged
+        // overflow bin must carry the combined count while the moment
+        // summaries (count/sum/min/max/mean) stay exact.
+        let big = LatencyStats::HISTOGRAM_BINS as u64;
+        let mut a = LatencyStats::new();
+        a.record(big + 10);
+        a.record(big * 3);
+        let mut b = LatencyStats::new();
+        b.record(big + 1);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(big * 3));
+        assert_eq!(
+            a.mean(),
+            Some((big + 10 + big * 3 + big + 1 + 2) as f64 / 4.0)
+        );
+        // 3 of 4 samples saturate: p50 and above clamp to the overflow
+        // bin's value, p25 still resolves exactly.
+        assert_eq!(a.percentile(25.0), Some(2));
+        assert_eq!(a.percentile(50.0), Some(big - 1));
+        assert_eq!(a.percentile(99.0), Some(big - 1));
+    }
+
+    #[test]
+    fn mser_on_constant_series_truncates_nothing() {
+        let series = vec![3.5; 32];
+        assert_eq!(mser_truncation(&series), 0);
+    }
+
+    #[test]
+    fn mser_on_monotone_series_hits_the_half_guard() {
+        // A strictly increasing series never reaches steady state; the
+        // marginal standard error keeps shrinking with shorter tails,
+        // so the MSER-5 guard caps the cut at half the series.
+        let series: Vec<f64> = (0..40).map(f64::from).collect();
+        assert_eq!(mser_truncation(&series), series.len() / 2);
+    }
+
+    #[test]
+    fn confidence_interval_degenerate_sample_counts() {
+        // n = 0: no data at all.
+        assert_eq!(confidence_interval(&[], 1.96), (0.0, 0.0));
+        // n = 1: a mean exists but no spread estimate.
+        assert_eq!(confidence_interval(&[42.0], 1.96), (42.0, 0.0));
     }
 
     #[test]
@@ -577,7 +632,17 @@ mod tests {
     }
 
     #[test]
-    fn display_is_nonempty() {
-        assert!(!SimStats::default().to_string().is_empty());
+    fn display_reports_percentiles() {
+        let rendered = SimStats::default().to_string();
+        assert!(rendered.contains("p50") && rendered.contains("p95") && rendered.contains("p99"));
+        let mut s = SimStats {
+            measured_cycles: 10,
+            ..Default::default()
+        };
+        for v in 1..=100u64 {
+            s.latency.record(v);
+        }
+        let rendered = s.to_string();
+        assert!(rendered.contains("p50 50 / p95 95 / p99 99"), "{rendered}");
     }
 }

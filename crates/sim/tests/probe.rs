@@ -1,0 +1,257 @@
+//! Integration tests of the observability layer ([`noc_sim::probe`])
+//! against full simulation runs: decomposition exactness,
+//! non-perturbation, event-stream consistency and export determinism.
+
+use noc_routing::SpidergonAcrossFirst;
+use noc_sim::{Recorder, SimConfig, SimStats, Simulation, TraceEvent};
+use noc_topology::{NodeId, Spidergon};
+use noc_traffic::{SingleHotspot, UniformRandom};
+use std::collections::HashMap;
+
+fn config(lambda: f64, router_delay: u64) -> SimConfig {
+    SimConfig::builder()
+        .injection_rate(lambda)
+        .warmup_cycles(200)
+        .measure_cycles(2_000)
+        .router_delay(router_delay)
+        .seed(2006)
+        .build()
+        .unwrap()
+}
+
+fn recorded_run(n: usize, lambda: f64, router_delay: u64, hotspot: bool) -> (SimStats, Recorder) {
+    let topo = Spidergon::new(n).unwrap();
+    let routing = SpidergonAcrossFirst::new(&topo);
+    let pattern: Box<dyn noc_traffic::TrafficPattern> = if hotspot {
+        Box::new(SingleHotspot::new(n, NodeId::new(0)).unwrap())
+    } else {
+        Box::new(UniformRandom::new(n).unwrap())
+    };
+    let mut sim = Simulation::with_probe(
+        Box::new(topo),
+        Box::new(routing),
+        pattern,
+        config(lambda, router_delay),
+        Recorder::new(),
+    )
+    .unwrap();
+    let stats = sim.run().unwrap();
+    (stats, sim.into_probe())
+}
+
+/// The acceptance criterion: for every delivered packet the three
+/// decomposition components sum to the end-to-end latency *exactly*,
+/// with a non-negative blocking term and the analytic transfer term.
+#[test]
+fn decomposition_components_sum_exactly() {
+    for (router_delay, lambda, hotspot) in [(0, 0.3, false), (0, 0.4, true), (2, 0.2, false)] {
+        let (_, rec) = recorded_run(16, lambda, router_delay, hotspot);
+        assert!(
+            rec.packet_timings().len() > 100,
+            "workload too small to be meaningful"
+        );
+        for t in rec.packet_timings() {
+            assert_eq!(
+                t.source_queuing + t.router_blocking + t.transfer,
+                t.latency(),
+                "decomposition must be exact for packet {}",
+                t.packet
+            );
+            assert_eq!(t.transfer, t.hops * (1 + router_delay) + 1);
+        }
+    }
+}
+
+/// Attaching a recorder must not perturb the simulation: identical
+/// seed, identical `SimStats`, bit for bit.
+#[test]
+fn recorder_does_not_perturb_the_run() {
+    let topo = Spidergon::new(16).unwrap();
+    let routing = SpidergonAcrossFirst::new(&topo);
+    let pattern = UniformRandom::new(16).unwrap();
+    let mut plain = Simulation::new(
+        Box::new(Spidergon::new(16).unwrap()),
+        Box::new(SpidergonAcrossFirst::new(&topo)),
+        Box::new(UniformRandom::new(16).unwrap()),
+        config(0.3, 0),
+    )
+    .unwrap();
+    let mut probed = Simulation::with_probe(
+        Box::new(topo),
+        Box::new(routing),
+        Box::new(pattern),
+        config(0.3, 0),
+        Recorder::new(),
+    )
+    .unwrap();
+    let a = plain.run().unwrap();
+    let b = probed.run().unwrap();
+    assert_eq!(a, b, "probe must only observe, never perturb");
+}
+
+/// The recorder's own totals agree with the simulator's lifetime
+/// counters (warmup included): every generated flit is seen once, every
+/// consumed flit is seen once, and the decomposition histograms cover
+/// exactly the delivered packets.
+#[test]
+fn recorder_totals_match_simulator_counters() {
+    let topo = Spidergon::new(16).unwrap();
+    let routing = SpidergonAcrossFirst::new(&topo);
+    let pattern = UniformRandom::new(16).unwrap();
+    let mut sim = Simulation::with_probe(
+        Box::new(topo),
+        Box::new(routing),
+        Box::new(pattern),
+        config(0.3, 0),
+        Recorder::new(),
+    )
+    .unwrap();
+    let _ = sim.run().unwrap();
+    let generated = sim.total_flits_generated();
+    let consumed = sim.total_flits_consumed();
+    let cycles = sim.cycle();
+    let rec = sim.into_probe();
+
+    let mut gen_flits = 0u64;
+    let mut consumed_flits = 0u64;
+    let mut injected = 0u64;
+    let mut completed = 0u64;
+    for ev in rec.events() {
+        match *ev {
+            TraceEvent::Generate { len, .. } => gen_flits += len as u64,
+            TraceEvent::Deliver { .. } => consumed_flits += 1,
+            TraceEvent::Inject { .. } => injected += 1,
+            TraceEvent::PacketDelivered { .. } => completed += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(gen_flits, generated);
+    assert_eq!(consumed_flits, consumed);
+    assert!(injected >= consumed_flits);
+    assert_eq!(completed as usize, rec.packet_timings().len());
+    assert_eq!(rec.breakdown().total.count(), completed);
+    assert_eq!(rec.observed_cycles(), cycles);
+
+    // Windowed series: integer counters partition the run.
+    let windowed: u64 = rec.windows().iter().map(|w| w.delivered_flits).sum();
+    assert!(windowed <= consumed);
+    assert!(rec.windows().len() as u64 <= cycles / 100 + 1);
+}
+
+/// Per-packet lifecycle ordering: generation before injection, hops in
+/// increasing cycle order, delivery last; a packet's flit count is
+/// conserved through every stage.
+#[test]
+fn lifecycle_events_are_ordered_per_packet() {
+    let (_, rec) = recorded_run(8, 0.2, 0, false);
+    let mut generated_at: HashMap<u64, u64> = HashMap::new();
+    let mut first_inject: HashMap<u64, u64> = HashMap::new();
+    let mut last_traverse: HashMap<u64, u64> = HashMap::new();
+    for ev in rec.events() {
+        match *ev {
+            TraceEvent::Generate { cycle, packet, .. } => {
+                generated_at.insert(packet, cycle);
+            }
+            TraceEvent::Inject { cycle, packet, .. } => {
+                first_inject.entry(packet).or_insert(cycle);
+            }
+            TraceEvent::LinkTraverse { cycle, packet, .. } => {
+                let e = last_traverse.entry(packet).or_insert(cycle);
+                assert!(*e <= cycle, "hop cycles must be non-decreasing");
+                *e = cycle;
+            }
+            TraceEvent::PacketDelivered {
+                cycle,
+                packet,
+                latency,
+                ..
+            } => {
+                let born = generated_at[&packet];
+                assert_eq!(cycle - born, latency);
+                assert!(first_inject[&packet] >= born);
+                assert!(last_traverse[&packet] < cycle);
+            }
+            _ => {}
+        }
+    }
+    assert!(!generated_at.is_empty());
+}
+
+/// Exports are deterministic: two identical runs produce byte-identical
+/// JSONL/CSV and therefore equal digests; a different seed differs.
+#[test]
+fn exports_are_deterministic() {
+    let (_, a) = recorded_run(16, 0.2, 0, true);
+    let (_, b) = recorded_run(16, 0.2, 0, true);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.timeseries_csv(), b.timeseries_csv());
+    assert_eq!(a.links_csv(), b.links_csv());
+}
+
+/// Every JSONL line is a standalone JSON object carrying at least the
+/// `event` and `cycle` keys (the schema the CI smoke step asserts).
+#[test]
+fn jsonl_lines_are_valid_json_with_schema() {
+    /// The common envelope of every event line; other keys vary per
+    /// event type and are ignored by the lenient `default` mode.
+    #[derive(Default, serde::Deserialize)]
+    #[serde(default)]
+    struct Envelope {
+        event: String,
+        cycle: Option<u64>,
+    }
+
+    let (_, rec) = recorded_run(8, 0.1, 0, false);
+    let jsonl = rec.to_jsonl();
+    assert!(!jsonl.is_empty());
+    const KNOWN: [&str; 6] = [
+        "generate",
+        "inject",
+        "buffer_exit",
+        "link_traverse",
+        "deliver",
+        "packet_delivered",
+    ];
+    for line in jsonl.lines() {
+        let env: Envelope = serde_json::from_str(line).expect("every line parses as JSON");
+        assert!(KNOWN.contains(&env.event.as_str()), "{line}");
+        assert!(env.cycle.is_some(), "{line}");
+    }
+}
+
+/// Link-load CSV covers every unidirectional link and agrees with the
+/// recorder's raw counters; buffer peaks respect configured capacities.
+#[test]
+fn link_csv_and_buffer_peaks_are_consistent() {
+    let (_, rec) = recorded_run(16, 0.3, 0, true);
+    let csv = rec.links_csv();
+    // Header plus one row per link.
+    assert_eq!(csv.lines().count(), 1 + rec.shape().num_links());
+    let total_from_csv: u64 = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(2).unwrap().parse::<u64>().unwrap())
+        .sum();
+    let total_raw: u64 = rec.link_flits().iter().flatten().sum();
+    assert_eq!(total_from_csv, total_raw);
+    assert!(total_raw > 0);
+
+    let peaks = rec.buffer_peaks();
+    assert!(!peaks.is_empty());
+    for p in &peaks {
+        let cap = match p.class {
+            noc_sim::BufferClass::Input => 1,
+            noc_sim::BufferClass::Output | noc_sim::BufferClass::Ejection => 3,
+            // Source queues are unbounded; links carry no standing depth.
+            noc_sim::BufferClass::Source | noc_sim::BufferClass::Link => usize::MAX,
+        };
+        assert!(
+            p.peak <= cap,
+            "{:?} buffer at node {} exceeded capacity: {}",
+            p.class,
+            p.node,
+            p.peak
+        );
+    }
+}
