@@ -25,6 +25,7 @@ const BENCH_SEED: u64 = 2006;
 struct Workload {
     sweep: String,
     hot_path: String,
+    low_rate: String,
     repeats: usize,
     statistic: String,
 }
@@ -42,7 +43,21 @@ struct Speedup {
     fixed_4: f64,
 }
 
+/// One low-rate row: the sparse active-set core against the dense
+/// reference on the same workload, plus how busy the network actually
+/// was (fraction of router-cycles with at least one flit present).
 #[derive(Serialize)]
+struct LowRateRow {
+    injection_rate: f64,
+    sparse_flits_per_sec: f64,
+    dense_flits_per_sec: f64,
+    /// `sparse_flits_per_sec / dense_flits_per_sec` — the payoff of
+    /// idle-router skipping at this load point.
+    sparse_gain: f64,
+    /// Active router-cycles / total router-cycles in the sparse run.
+    active_router_ratio: f64,
+}
+
 struct BenchReport {
     workload: Workload,
     /// How this report was produced: resolved worker threads, policy
@@ -55,13 +70,52 @@ struct BenchReport {
     git_describe: Option<String>,
     host_cores: usize,
     sweep_seconds: SweepSeconds,
-    speedup_vs_sequential: Speedup,
+    /// Omitted on a single-core host, where "speedup" would only
+    /// measure thread-pool overhead; the raw timings above remain.
+    speedup_vs_sequential: Option<Speedup>,
     hot_path_flits_per_sec: f64,
     /// The same kernel measured on the pre-optimization simulator
     /// (passed with `--baseline`; `null` when not measured).
     hot_path_flits_per_sec_baseline: Option<f64>,
     hot_path_gain: Option<f64>,
+    /// Sparse-vs-dense core comparison at the low injection rates
+    /// where idle-router skipping pays off (`sparse_guard` gates on
+    /// these rows).
+    low_rate: Vec<LowRateRow>,
     note: String,
+}
+
+/// Hand-written so `speedup_vs_sequential` can be *omitted* (not
+/// `null`) on single-core hosts — the vendored derive has no
+/// `skip_serializing_if`.
+impl Serialize for BenchReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("workload".to_owned(), self.workload.to_value()),
+            ("run_metadata".to_owned(), self.run_metadata.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("git_describe".to_owned(), self.git_describe.to_value()),
+            ("host_cores".to_owned(), self.host_cores.to_value()),
+            ("sweep_seconds".to_owned(), self.sweep_seconds.to_value()),
+        ];
+        if let Some(speedup) = &self.speedup_vs_sequential {
+            fields.push(("speedup_vs_sequential".to_owned(), speedup.to_value()));
+        }
+        fields.extend([
+            (
+                "hot_path_flits_per_sec".to_owned(),
+                self.hot_path_flits_per_sec.to_value(),
+            ),
+            (
+                "hot_path_flits_per_sec_baseline".to_owned(),
+                self.hot_path_flits_per_sec_baseline.to_value(),
+            ),
+            ("hot_path_gain".to_owned(), self.hot_path_gain.to_value()),
+            ("low_rate".to_owned(), self.low_rate.to_value()),
+            ("note".to_owned(), self.note.to_value()),
+        ]);
+        serde::Value::Object(fields)
+    }
 }
 
 fn sweep_config() -> SimConfig {
@@ -137,6 +191,58 @@ fn flits_per_sec() -> f64 {
     samples[REPEATS / 2]
 }
 
+/// Low-rate kernel: spidergon-64 under uniform load at `lambda`, 20k
+/// measured cycles — the regime the sparse active-set core is built
+/// for. `sparse` toggles the full sparse path (active set + compiled
+/// routes) against the dense reference core.
+fn low_rate_experiment(lambda: f64, sparse: bool) -> Experiment {
+    Experiment {
+        topology: TopologySpec::Spidergon { nodes: 64 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(lambda)
+            .warmup_cycles(0)
+            .measure_cycles(20_000)
+            .seed(BENCH_SEED)
+            .sparse(sparse)
+            .compiled_routes(sparse)
+            .build()
+            .unwrap(),
+    }
+}
+
+/// Measures one low-rate row: median flits/sec of the sparse and dense
+/// cores on the identical workload (same seed, so both deliver the
+/// same flits and the ratio is a pure wall-clock comparison), plus the
+/// sparse run's active-router ratio.
+fn low_rate_row(lambda: f64) -> LowRateRow {
+    fn median_flits_per_sec(experiment: &Experiment, ratio: &mut f64) -> f64 {
+        let mut samples: Vec<f64> = (0..REPEATS)
+            .map(|_| {
+                let mut sim = experiment.build_simulation().unwrap();
+                let start = Instant::now();
+                let stats = sim.run().unwrap();
+                let secs = start.elapsed().as_secs_f64();
+                *ratio = sim.active_router_ratio();
+                stats.flits_delivered as f64 / secs
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[REPEATS / 2]
+    }
+    let mut active_router_ratio = 0.0;
+    let mut dense_ratio = 0.0;
+    let sparse = median_flits_per_sec(&low_rate_experiment(lambda, true), &mut active_router_ratio);
+    let dense = median_flits_per_sec(&low_rate_experiment(lambda, false), &mut dense_ratio);
+    LowRateRow {
+        injection_rate: lambda,
+        sparse_flits_per_sec: sparse,
+        dense_flits_per_sec: dense,
+        sparse_gain: sparse / dense,
+        active_router_ratio,
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = "BENCH_sweep.json".to_owned();
     let mut baseline: Option<f64> = None;
@@ -156,6 +262,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fixed_2 = time_sweep(Parallelism::Fixed(2));
     let fixed_4 = time_sweep(Parallelism::Fixed(4));
     let flits = flits_per_sec();
+    eprintln!("timing low-rate sparse-vs-dense kernels...");
+    let low_rate: Vec<LowRateRow> = [0.05, 0.1].into_iter().map(low_rate_row).collect();
 
     let report = BenchReport {
         workload: Workload {
@@ -163,6 +271,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "spidergon-16 uniform, rates [0.1, 0.2, 0.3, 0.4], 2 replications, 2200 cycles each"
                     .to_owned(),
             hot_path: "spidergon-32 uniform, lambda 0.3, 5000 measured cycles".to_owned(),
+            low_rate: "spidergon-64 uniform, lambda [0.05, 0.1], 20000 measured cycles, \
+                       sparse core vs dense reference"
+                .to_owned(),
             repeats: REPEATS,
             statistic: "median".to_owned(),
         },
@@ -175,13 +286,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fixed_2,
             fixed_4,
         },
-        speedup_vs_sequential: Speedup {
+        speedup_vs_sequential: (host_cores > 1).then_some(Speedup {
             fixed_2: sequential / fixed_2,
             fixed_4: sequential / fixed_4,
-        },
+        }),
         hot_path_flits_per_sec: flits,
         hot_path_flits_per_sec_baseline: baseline,
         hot_path_gain: baseline.map(|b| flits / b),
+        low_rate,
         note: if host_cores < 2 {
             "single-core host: parallel timings measure scheduling overhead, not speedup"
         } else {

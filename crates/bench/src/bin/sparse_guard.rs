@@ -1,0 +1,169 @@
+//! Sparse-core guard: fails (exit 1) when the sparse active-set core
+//! loses its payoff or its bit-exactness.
+//!
+//! Three checks:
+//!
+//! 1. **Static** — `BENCH_sweep.json` (written by `bench_sweep`) must
+//!    carry `low_rate` rows whose recorded `sparse_gain` meets the
+//!    bar for its load point: at least [`MIN_RECORDED_GAIN`] on the
+//!    lowest recorded rate (the regime the sparse core is built for)
+//!    and at least [`MIN_RECORDED_GAIN_BUSY`] everywhere else — at
+//!    higher load the active-router ratio itself bounds what skipping
+//!    can earn (a 0.79 ratio caps pure idle-skipping at 1.27×), so
+//!    only "never slower than dense" is demanded there.
+//! 2. **Live differential** — the sparse core (active set +
+//!    fast-forward + compiled routes) must return bit-identical
+//!    `SimStats` to the dense reference on the recorded low-rate
+//!    workloads: skipping idle routers never changes the simulation.
+//! 3. **Live gain** — the sparse/dense wall-clock ratio re-measured on
+//!    this host, at the lowest recorded rate, must stay above
+//!    [`MIN_LIVE_GAIN`]. A ratio taken within one process is robust
+//!    to absolute host speed, but CI noise still gets slack: the gate
+//!    is looser than the recorded baseline it backs.
+//!
+//! Usage: `cargo run --release --bin sparse_guard [BENCH_sweep.json]`
+
+use noc_core::{Experiment, TopologySpec, TrafficSpec};
+use noc_sim::SimConfig;
+use serde::Deserialize;
+use std::time::Instant;
+
+/// The committed benchmark must show at least this sparse-vs-dense
+/// gain on the lowest recorded rate (the acceptance bar).
+const MIN_RECORDED_GAIN: f64 = 2.0;
+
+/// Higher-rate rows only have to prove the sparse core is never
+/// slower than the dense reference.
+const MIN_RECORDED_GAIN_BUSY: f64 = 1.0;
+
+/// The live re-measurement may sag below the recorded baseline on a
+/// busy CI host, but not below this.
+const MIN_LIVE_GAIN: f64 = 1.5;
+
+/// The slice of `BENCH_sweep.json` the guard cares about; every other
+/// field is ignored.
+#[derive(Default, Deserialize)]
+#[serde(default)]
+struct SparseReport {
+    low_rate: Vec<LowRateRow>,
+}
+
+#[derive(Deserialize)]
+struct LowRateRow {
+    injection_rate: f64,
+    sparse_flits_per_sec: f64,
+    dense_flits_per_sec: f64,
+    sparse_gain: f64,
+    active_router_ratio: f64,
+}
+
+/// The same low-rate kernel `bench_sweep` records: spidergon-64 under
+/// uniform load, 20k measured cycles, seed 2006.
+fn low_rate_experiment(lambda: f64, sparse: bool) -> Experiment {
+    Experiment {
+        topology: TopologySpec::Spidergon { nodes: 64 },
+        traffic: TrafficSpec::Uniform,
+        config: SimConfig::builder()
+            .injection_rate(lambda)
+            .warmup_cycles(0)
+            .measure_cycles(20_000)
+            .seed(2006)
+            .sparse(sparse)
+            .compiled_routes(sparse)
+            .build()
+            .unwrap(),
+    }
+}
+
+/// Median wall-clock seconds of the experiment over three runs.
+fn median_secs(experiment: &Experiment) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut samples: Vec<f64> = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let start = Instant::now();
+        std::hint::black_box(experiment.run()?);
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(samples[1])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+
+    // Static check: the committed benchmark report.
+    let report: SparseReport = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    if report.low_rate.is_empty() {
+        return Err(format!(
+            "{path} has no low_rate rows — regenerate it with \
+             `cargo run --release --bin bench_sweep`"
+        )
+        .into());
+    }
+    let lowest = report
+        .low_rate
+        .iter()
+        .map(|row| row.injection_rate)
+        .fold(f64::INFINITY, f64::min);
+    for row in &report.low_rate {
+        println!(
+            "{path}: lambda {:.2}: sparse {:.0} vs dense {:.0} flits/sec -> gain {:.2} \
+             (active ratio {:.3})",
+            row.injection_rate,
+            row.sparse_flits_per_sec,
+            row.dense_flits_per_sec,
+            row.sparse_gain,
+            row.active_router_ratio,
+        );
+        let bar = if row.injection_rate == lowest {
+            MIN_RECORDED_GAIN
+        } else {
+            MIN_RECORDED_GAIN_BUSY
+        };
+        if row.sparse_gain < bar {
+            return Err(format!(
+                "recorded low-rate gain at lambda {} regressed: {:.2} < {bar}",
+                row.injection_rate, row.sparse_gain
+            )
+            .into());
+        }
+    }
+
+    // Live checks: bit-exactness at every recorded rate, wall-clock
+    // ratio at the lowest (the only rate with a recorded 2x bar).
+    for row in &report.low_rate {
+        let lambda = row.injection_rate;
+        let sparse_exp = low_rate_experiment(lambda, true);
+        let dense_exp = low_rate_experiment(lambda, false);
+        let sparse = sparse_exp.run()?;
+        let dense = dense_exp.run()?;
+        if sparse != dense {
+            return Err(
+                format!("sparse core diverged from dense reference at lambda {lambda}").into(),
+            );
+        }
+        if lambda != lowest {
+            continue;
+        }
+        let sparse_secs = median_secs(&sparse_exp)?;
+        let dense_secs = median_secs(&dense_exp)?;
+        let live_gain = dense_secs / sparse_secs;
+        println!(
+            "live at lambda {lambda}: sparse {sparse_secs:.4}s vs dense {dense_secs:.4}s \
+             -> gain {live_gain:.2}"
+        );
+        if live_gain < MIN_LIVE_GAIN {
+            return Err(format!(
+                "live low-rate gain at lambda {lambda} dropped to {live_gain:.2} \
+                 (< {MIN_LIVE_GAIN})"
+            )
+            .into());
+        }
+    }
+    println!(
+        "sparse guard passed (recorded gain >= {MIN_RECORDED_GAIN}, live gain >= {MIN_LIVE_GAIN}, \
+         stats bit-identical)"
+    );
+    Ok(())
+}

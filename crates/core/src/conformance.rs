@@ -1,7 +1,7 @@
 //! Differential conformance harness: replays identical seeded
 //! scenarios across execution modes and asserts they agree exactly.
 //!
-//! Three differences are checked for every case and replication seed:
+//! Four differences are checked for every case and replication seed:
 //!
 //! 1. **audited vs unaudited** — attaching the runtime invariant
 //!    auditor ([`noc_sim::audit`]) must not change a single bit of the
@@ -10,7 +10,12 @@
 //!    through the parallel experiment engine ([`crate::parallel`])
 //!    must be bit-identical to a sequential loop, stats *and* audit
 //!    reports;
-//! 3. **zero violations** — every audited run must come back clean.
+//! 3. **sparse vs dense** — the sparse active-set simulation core
+//!    (idle-router skipping, fast-forward, compiled route tables) must
+//!    be bit-identical to the dense reference core
+//!    ([`SimConfig::sparse`] and [`SimConfig::compiled_routes`] both
+//!    off), unaudited *and* audited;
+//! 4. **zero violations** — every audited run must come back clean.
 //!
 //! The default case grid replays the paper's topology triple (ring,
 //! Spidergon, 2D mesh) at matched sizes under homogeneous and single
@@ -47,6 +52,9 @@ pub struct CaseOutcome {
     /// Parallel audited runs matched sequential audited runs (stats and
     /// audit reports) bit-for-bit.
     pub parallel_matches_sequential: bool,
+    /// The sparse active-set core matched the dense reference core
+    /// bit-for-bit — unaudited stats, audited stats and audit reports.
+    pub sparse_matches_dense: bool,
     /// Total audit violations over all audited runs (0 when clean).
     pub violations: usize,
     /// Total audit checks performed over all audited runs.
@@ -58,7 +66,10 @@ pub struct CaseOutcome {
 impl CaseOutcome {
     /// `true` if every difference agreed and no violation was found.
     pub fn passed(&self) -> bool {
-        self.audited_matches_unaudited && self.parallel_matches_sequential && self.violations == 0
+        self.audited_matches_unaudited
+            && self.parallel_matches_sequential
+            && self.sparse_matches_dense
+            && self.violations == 0
     }
 }
 
@@ -66,11 +77,12 @@ impl fmt::Display for CaseOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}] audit=stats:{} par=seq:{} violations:{} checks:{} reps:{}",
+            "{} [{}] audit=stats:{} par=seq:{} sparse=dense:{} violations:{} checks:{} reps:{}",
             if self.passed() { "PASS" } else { "FAIL" },
             self.label,
             self.audited_matches_unaudited,
             self.parallel_matches_sequential,
+            self.sparse_matches_dense,
             self.violations,
             self.checks,
             self.replications,
@@ -221,6 +233,20 @@ pub fn run_conformance(
         let audited_par: Vec<(RunResult, AuditReport)> = run_indexed(jobs, parallelism)
             .into_iter()
             .collect::<Result<_, _>>()?;
+        // Modes 4 and 5: the dense reference core (active-set skipping,
+        // fast-forward and compiled route tables all disabled),
+        // unaudited and audited.
+        let mut dense_experiment = case.experiment.clone();
+        dense_experiment.config.sparse = false;
+        dense_experiment.config.compiled_routes = false;
+        let dense_plain: Vec<RunResult> = seeds
+            .iter()
+            .map(|&s| dense_experiment.run_with_seed(s))
+            .collect::<Result<_, _>>()?;
+        let dense_audited: Vec<(RunResult, AuditReport)> = seeds
+            .iter()
+            .map(|&s| dense_experiment.run_audited_with_seed(s))
+            .collect::<Result<_, _>>()?;
 
         let audited_matches_unaudited = plain.iter().zip(&audited_seq).all(|(p, (a, _))| p == a);
         if !audited_matches_unaudited {
@@ -233,6 +259,13 @@ pub fn run_conformance(
         if !parallel_matches_sequential {
             failures.push(format!(
                 "{}: parallel audited runs diverge from sequential",
+                case.label
+            ));
+        }
+        let sparse_matches_dense = plain == dense_plain && audited_seq == dense_audited;
+        if !sparse_matches_dense {
+            failures.push(format!(
+                "{}: sparse active-set core diverges from the dense reference",
                 case.label
             ));
         }
@@ -251,6 +284,7 @@ pub fn run_conformance(
             label: case.label.clone(),
             audited_matches_unaudited,
             parallel_matches_sequential,
+            sparse_matches_dense,
             violations,
             checks: audited_seq.iter().map(|(_, rep)| rep.checks).sum(),
             replications,
@@ -307,6 +341,7 @@ mod tests {
             label: "x".to_owned(),
             audited_matches_unaudited: true,
             parallel_matches_sequential: true,
+            sparse_matches_dense: true,
             violations: 0,
             checks: 10,
             replications: 1,

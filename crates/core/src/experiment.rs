@@ -75,6 +75,25 @@ impl Experiment {
         self.run_with_seed(self.config.seed)
     }
 
+    /// Builds the configured simulation without running it, for
+    /// callers that need simulator accessors beyond [`SimStats`] (the
+    /// benchmark binaries read `active_router_ratio`, for example).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the specs are invalid.
+    pub fn build_simulation(&self) -> Result<Simulation, CoreError> {
+        let topo = self.topology.build()?;
+        let routing = self.topology.build_routing()?;
+        let pattern = self.traffic.build(&self.topology)?;
+        Ok(Simulation::new(
+            topo,
+            routing,
+            pattern,
+            self.config.clone(),
+        )?)
+    }
+
     /// Runs once with an explicit seed (overriding the configured one).
     ///
     /// # Errors

@@ -4,6 +4,9 @@
 //!   `SimStats`;
 //! * parallel (4 workers) matches sequential bit-for-bit with auditing
 //!   on;
+//! * the sparse active-set core (idle-router skipping, fast-forward,
+//!   compiled route tables) matches the dense reference core
+//!   bit-for-bit, unaudited and audited;
 //! * zero violations across the paper's topology triple at matched
 //!   sizes, under uniform and hot-spot traffic, below and above
 //!   saturation.
@@ -35,8 +38,31 @@ fn topology_triple_conforms_with_four_workers() {
     for outcome in &report.outcomes {
         assert!(outcome.audited_matches_unaudited, "{outcome}");
         assert!(outcome.parallel_matches_sequential, "{outcome}");
+        assert!(outcome.sparse_matches_dense, "{outcome}");
         assert_eq!(outcome.violations, 0, "{outcome}");
         assert!(outcome.checks > 0, "{outcome}");
+    }
+}
+
+#[test]
+fn sparse_and_dense_cores_agree_for_explicit_seeds() {
+    // Direct dense-vs-sparse differential, independent of the grid: the
+    // full-featured sparse core (active set + fast-forward + compiled
+    // routes) against the dense reference, on the paper's hot-spot
+    // scenario where routers idle unevenly.
+    let sparse_exp = Experiment {
+        topology: TopologySpec::Spidergon { nodes: 16 },
+        traffic: TrafficSpec::SingleHotspot { target: 0 },
+        config: base_config(),
+    };
+    let mut dense_exp = sparse_exp.clone();
+    dense_exp.config.sparse = false;
+    dense_exp.config.compiled_routes = false;
+    assert!(sparse_exp.config.sparse, "sparse core is the default");
+    for seed in [7u64, 1234] {
+        let sparse = sparse_exp.run_with_seed(seed).unwrap();
+        let dense = dense_exp.run_with_seed(seed).unwrap();
+        assert_eq!(sparse, dense, "seed {seed}: sparse core diverged");
     }
 }
 

@@ -90,6 +90,19 @@ pub trait RoutingAlgorithm: fmt::Debug {
 
     /// Short human-readable name, e.g. `"across-first"`.
     fn label(&self) -> String;
+
+    /// Returns `true` if this algorithm always produces exactly one
+    /// candidate per `(current, dest)` pair — i.e. its routing decision
+    /// is a pure function of the head flit's position and destination.
+    ///
+    /// Deterministic algorithms can be flattened into a
+    /// [`crate::CompiledRoutes`] table. Adaptive algorithms (several
+    /// candidates, picked by runtime congestion) must return `false`;
+    /// the default is `true`, matching the default
+    /// [`candidates`](RoutingAlgorithm::candidates).
+    fn is_deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// A full route from `src` to `dst` as produced by repeatedly applying a

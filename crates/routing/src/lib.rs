@@ -43,6 +43,7 @@
 mod adaptive;
 mod algorithm;
 pub mod cdg;
+mod compiled;
 mod mesh_routing;
 mod ring_routing;
 mod spidergon_routing;
@@ -52,6 +53,7 @@ pub mod validate;
 
 pub use adaptive::WestFirst;
 pub use algorithm::{Route, RoutingAlgorithm};
+pub use compiled::{CompiledHop, CompiledRoutes, MAX_COMPILED_VCS};
 pub use mesh_routing::MeshXY;
 pub use ring_routing::RingShortestPath;
 pub use spidergon_routing::{SpidergonAcrossFirst, SpidergonAcrossLast};

@@ -687,7 +687,12 @@ impl Auditor {
                 if buf.len() > buf.capacity() {
                     self.push_overflow(cycle, r, buf.len(), buf.capacity());
                 }
-                self.check_queue_structure(cycle, r, buf.iter(), None);
+                self.check_queue_structure(
+                    cycle,
+                    r,
+                    buf.iter().map(|&f| sim.arena.materialize(f)),
+                    None,
+                );
             }
             for (c, q) in node.out[d].iter().enumerate() {
                 let r = BufferRef {
@@ -700,7 +705,12 @@ impl Auditor {
                 if q.len() > q.capacity() {
                     self.push_overflow(cycle, r, q.len(), q.capacity());
                 }
-                self.check_queue_structure(cycle, r, q.iter(), Some(q.owner()));
+                self.check_queue_structure(
+                    cycle,
+                    r,
+                    q.iter().map(|&f| sim.arena.materialize(f)),
+                    Some(q.owner().map(|p| sim.arena.packet_id(p))),
+                );
             }
         }
         for (c, q) in node.eject.iter().enumerate() {
@@ -714,7 +724,12 @@ impl Auditor {
             if q.len() > q.capacity() {
                 self.push_overflow(cycle, r, q.len(), q.capacity());
             }
-            self.check_queue_structure(cycle, r, q.iter(), Some(q.owner()));
+            self.check_queue_structure(
+                cycle,
+                r,
+                q.iter().map(|&f| sim.arena.materialize(f)),
+                Some(q.owner().map(|p| sim.arena.packet_id(p))),
+            );
         }
     }
 
@@ -732,16 +747,16 @@ impl Auditor {
     /// Wormhole structure of one queue: consecutive flits either belong
     /// to the same packet (head..tail order) or a fresh head follows a
     /// tail; for owned queues the declared owner must match the flits.
-    fn check_queue_structure<'a>(
+    fn check_queue_structure(
         &mut self,
         cycle: u64,
         buffer: BufferRef,
-        flits: impl Iterator<Item = &'a Flit>,
+        flits: impl Iterator<Item = Flit>,
         declared_owner: Option<Option<PacketId>>,
     ) {
         self.report.checks += 1;
         let mut last: Option<Flit> = None;
-        for &flit in flits {
+        for flit in flits {
             if let Some(prev) = last {
                 let ok = if flit.kind.is_head() {
                     prev.kind.is_tail()
@@ -873,14 +888,15 @@ fn find_circular_wait<Q: Probe>(sim: &Simulation<Q>) -> Option<Vec<BufferRef>> {
                     continue;
                 };
                 if flit.kind.is_head() {
-                    for cand in sim.routing.candidates(NodeId::new(v), flit.dst) {
+                    let dst = sim.arena.dst(flit.pkt);
+                    for cand in sim.routing.candidates(NodeId::new(v), dst) {
                         if cand == Direction::Local {
                             continue; // ejection queues always drain
                         }
                         let Some(p) = node.dirs.iter().position(|&x| x == cand) else {
                             continue; // illegal hop, flagged elsewhere
                         };
-                        let out_vc = sim.routing.vc_for_hop(NodeId::new(v), flit.dst, cand, c);
+                        let out_vc = sim.routing.vc_for_hop(NodeId::new(v), dst, cand, c);
                         if out_vc < vcs && !node.out[p][out_vc].can_accept(&flit) {
                             adj[input_id(v, d, c)].push(output_id(v, p, out_vc));
                         }

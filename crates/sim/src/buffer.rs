@@ -6,8 +6,13 @@
 //! for virtual channel management and deadlock avoidance) in Ring and
 //! Spidergon topologies, and one single buffer in Mesh topologies. All
 //! output buffers may contain up to three flits."
+//!
+//! Buffers store the compact [`ArenaFlit`] handle; per-packet constants
+//! (source, destination, id, creation cycle) live in the simulation's
+//! [`crate::PacketArena`] and are materialized only at the
+//! observability seams.
 
-use crate::{Flit, PacketId};
+use crate::flit::{ArenaFlit, PacketRef};
 use std::collections::VecDeque;
 
 /// A bounded output queue for one virtual channel of one output port.
@@ -20,22 +25,24 @@ use std::collections::VecDeque;
 /// # Examples
 ///
 /// ```
-/// use noc_sim::{Flit, OutputQueue, PacketId};
+/// use noc_sim::{FlitKind, OutputQueue, PacketArena, PacketId};
 /// use noc_topology::NodeId;
 ///
+/// let mut arena = PacketArena::new();
+/// let pkt = arena.alloc(PacketId::new(0), NodeId::new(0), NodeId::new(1), 0);
 /// let mut q = OutputQueue::new(3);
-/// let flits = Flit::packet(PacketId::new(0), NodeId::new(0), NodeId::new(1), 6, 0);
-/// assert!(q.can_accept(&flits[0]));
-/// q.push(flits[0]);
+/// let head = arena.flit(pkt, FlitKind::Head);
+/// assert!(q.can_accept(&head));
+/// q.push(head);
 /// // Mid-packet, another packet's head is rejected.
-/// let other = Flit::packet(PacketId::new(1), NodeId::new(2), NodeId::new(1), 6, 0);
-/// assert!(!q.can_accept(&other[0]));
+/// let other = arena.alloc(PacketId::new(1), NodeId::new(2), NodeId::new(1), 0);
+/// assert!(!q.can_accept(&arena.flit(other, FlitKind::Head)));
 /// ```
 #[derive(Clone, Debug)]
 pub struct OutputQueue {
-    flits: VecDeque<Flit>,
+    flits: VecDeque<ArenaFlit>,
     capacity: usize,
-    owner: Option<PacketId>,
+    owner: Option<PacketRef>,
 }
 
 impl OutputQueue {
@@ -70,20 +77,20 @@ impl OutputQueue {
 
     /// The packet currently owning the queue tail for enqueueing, if
     /// any.
-    pub fn owner(&self) -> Option<PacketId> {
+    pub fn owner(&self) -> Option<PacketRef> {
         self.owner
     }
 
     /// Returns `true` if `flit` may be pushed now: there is space, and
     /// either the queue is unowned and `flit` is a head, or it is owned
     /// by `flit`'s packet.
-    pub fn can_accept(&self, flit: &Flit) -> bool {
+    pub fn can_accept(&self, flit: &ArenaFlit) -> bool {
         if self.flits.len() >= self.capacity {
             return false;
         }
         match self.owner {
             None => flit.kind.is_head(),
-            Some(owner) => owner == flit.packet && !flit.kind.is_head(),
+            Some(owner) => owner == flit.pkt && !flit.kind.is_head(),
         }
     }
 
@@ -94,15 +101,15 @@ impl OutputQueue {
     /// Panics if [`can_accept`](Self::can_accept) is false for `flit` —
     /// callers must check first; pushing blindly indicates a switch
     /// allocation bug.
-    pub fn push(&mut self, flit: Flit) {
+    pub fn push(&mut self, flit: ArenaFlit) {
         assert!(
             self.can_accept(&flit),
-            "queue cannot accept {flit} (owner {:?}, len {})",
+            "queue cannot accept {flit:?} (owner {:?}, len {})",
             self.owner,
             self.flits.len()
         );
         if flit.kind.is_head() {
-            self.owner = Some(flit.packet);
+            self.owner = Some(flit.pkt);
         }
         if flit.kind.is_tail() {
             self.owner = None;
@@ -111,17 +118,17 @@ impl OutputQueue {
     }
 
     /// The flit at the queue head (next to traverse the link), if any.
-    pub fn front(&self) -> Option<&Flit> {
+    pub fn front(&self) -> Option<&ArenaFlit> {
         self.flits.front()
     }
 
     /// Removes and returns the queue-head flit.
-    pub fn pop(&mut self) -> Option<Flit> {
+    pub fn pop(&mut self) -> Option<ArenaFlit> {
         self.flits.pop_front()
     }
 
     /// Iterator over queued flits, head first.
-    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+    pub fn iter(&self) -> impl Iterator<Item = &ArenaFlit> {
         self.flits.iter()
     }
 }
@@ -134,7 +141,7 @@ impl OutputQueue {
 pub struct InputBuffer {
     /// Buffered flits with the cycle from which each may leave (the
     /// router pipeline delay counted from arrival).
-    flits: VecDeque<(Flit, u64)>,
+    flits: VecDeque<(ArenaFlit, u64)>,
     capacity: usize,
     /// Wormhole allocation for the in-flight packet: output port index
     /// and VC selected by the head flit, followed by body/tail flits.
@@ -151,7 +158,7 @@ pub struct SlotRoute {
     /// Virtual channel on the output port.
     pub out_vc: usize,
     /// Packet the allocation belongs to (guards against stale state).
-    pub packet: PacketId,
+    pub packet: PacketRef,
 }
 
 impl InputBuffer {
@@ -182,7 +189,7 @@ impl InputBuffer {
 
     /// Iterator over buffered flits, oldest first, regardless of
     /// whether they have cleared the router pipeline yet.
-    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+    pub fn iter(&self) -> impl Iterator<Item = &ArenaFlit> {
         self.flits.iter().map(|(flit, _)| flit)
     }
 
@@ -204,14 +211,14 @@ impl InputBuffer {
     ///
     /// Panics if the buffer is full — the sender must check
     /// [`has_space`](Self::has_space) first.
-    pub fn receive(&mut self, flit: Flit, eligible_at: u64) {
-        assert!(self.has_space(), "input buffer overrun by {flit}");
+    pub fn receive(&mut self, flit: ArenaFlit, eligible_at: u64) {
+        assert!(self.has_space(), "input buffer overrun by {flit:?}");
         self.flits.push_back((flit, eligible_at));
     }
 
     /// The oldest buffered flit if it has cleared the router pipeline
     /// by cycle `now`.
-    pub fn front_ready(&self, now: u64) -> Option<&Flit> {
+    pub fn front_ready(&self, now: u64) -> Option<&ArenaFlit> {
         self.flits
             .front()
             .filter(|&&(_, at)| at <= now)
@@ -219,7 +226,7 @@ impl InputBuffer {
     }
 
     /// Removes and returns the oldest buffered flit if ready at `now`.
-    pub fn take_ready(&mut self, now: u64) -> Option<Flit> {
+    pub fn take_ready(&mut self, now: u64) -> Option<ArenaFlit> {
         if self.front_ready(now).is_some() {
             self.flits.pop_front().map(|(f, _)| f)
         } else {
@@ -231,16 +238,30 @@ impl InputBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{FlitKind, PacketArena, PacketId};
     use noc_topology::NodeId;
 
-    fn packet(id: u64, len: usize) -> Vec<Flit> {
-        Flit::packet(PacketId::new(id), NodeId::new(0), NodeId::new(1), len, 0)
+    /// Flit sequence of one `len`-flit packet, allocated in `arena`.
+    fn packet(arena: &mut PacketArena, id: u64, len: usize) -> Vec<ArenaFlit> {
+        let pkt = arena.alloc(PacketId::new(id), NodeId::new(0), NodeId::new(1), 0);
+        (0..len)
+            .map(|i| {
+                let kind = match (i, len) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, l) if i + 1 == l => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                arena.flit(pkt, kind)
+            })
+            .collect()
     }
 
     #[test]
     fn capacity_is_enforced() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(3);
-        let flits = packet(0, 6);
+        let flits = packet(&mut arena, 0, 6);
         q.push(flits[0]);
         q.push(flits[1]);
         q.push(flits[2]);
@@ -252,46 +273,50 @@ mod tests {
 
     #[test]
     fn ownership_lifecycle() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(8);
-        let a = packet(0, 3);
-        let b = packet(1, 3);
+        let a = packet(&mut arena, 0, 3);
+        let b = packet(&mut arena, 1, 3);
         q.push(a[0]);
-        assert_eq!(q.owner(), Some(PacketId::new(0)));
+        assert_eq!(q.owner(), Some(a[0].pkt));
         assert!(!q.can_accept(&b[0]), "foreign head rejected mid-packet");
         q.push(a[1]);
         q.push(a[2]); // tail releases
         assert_eq!(q.owner(), None);
         assert!(q.can_accept(&b[0]), "new head accepted after tail");
         q.push(b[0]);
-        assert_eq!(q.owner(), Some(PacketId::new(1)));
+        assert_eq!(q.owner(), Some(b[0].pkt));
     }
 
     #[test]
     fn body_without_head_rejected() {
+        let mut arena = PacketArena::new();
         let q = OutputQueue::new(3);
-        let a = packet(0, 3);
+        let a = packet(&mut arena, 0, 3);
         assert!(!q.can_accept(&a[1]), "body flit needs an owning head");
     }
 
     #[test]
     fn single_flit_packet_claims_and_releases_at_once() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(3);
-        let a = packet(0, 1);
+        let a = packet(&mut arena, 0, 1);
         q.push(a[0]);
         assert_eq!(q.owner(), None);
-        let b = packet(1, 1);
+        let b = packet(&mut arena, 1, 1);
         assert!(q.can_accept(&b[0]));
     }
 
     #[test]
     fn fifo_order_preserved() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(6);
-        let a = packet(0, 3);
+        let a = packet(&mut arena, 0, 3);
         for f in &a {
             q.push(*f);
         }
         assert_eq!(q.front().unwrap().kind, a[0].kind);
-        let drained: Vec<Flit> = std::iter::from_fn(|| q.pop()).collect();
+        let drained: Vec<ArenaFlit> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, a);
         assert!(q.is_empty());
     }
@@ -299,18 +324,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot accept")]
     fn blind_push_panics() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(1);
-        let a = packet(0, 3);
+        let a = packet(&mut arena, 0, 3);
         q.push(a[0]);
         q.push(a[1]); // full
     }
 
     #[test]
     fn input_buffer_flow_control() {
+        let mut arena = PacketArena::new();
         let mut buf = InputBuffer::new(1);
         assert!(buf.has_space());
         assert!(buf.is_empty());
-        let a = packet(0, 2);
+        let a = packet(&mut arena, 0, 2);
         buf.receive(a[0], 0);
         assert!(!buf.has_space());
         assert_eq!(buf.len(), 1);
@@ -322,8 +349,9 @@ mod tests {
 
     #[test]
     fn pipeline_delay_gates_eligibility() {
+        let mut arena = PacketArena::new();
         let mut buf = InputBuffer::new(1);
-        let a = packet(0, 2);
+        let a = packet(&mut arena, 0, 2);
         buf.receive(a[0], 5);
         assert_eq!(buf.front_ready(4), None, "not yet through the pipeline");
         assert_eq!(buf.take_ready(4), None);
@@ -334,21 +362,23 @@ mod tests {
 
     #[test]
     fn deep_input_buffer_is_fifo() {
+        let mut arena = PacketArena::new();
         let mut buf = InputBuffer::new(3);
-        let a = packet(0, 3);
+        let a = packet(&mut arena, 0, 3);
         for f in &a {
             buf.receive(*f, 0);
         }
         assert!(!buf.has_space());
-        let drained: Vec<Flit> = std::iter::from_fn(|| buf.take_ready(0)).collect();
+        let drained: Vec<ArenaFlit> = std::iter::from_fn(|| buf.take_ready(0)).collect();
         assert_eq!(drained, a);
     }
 
     #[test]
     #[should_panic(expected = "overrun")]
     fn input_buffer_overrun_panics() {
+        let mut arena = PacketArena::new();
         let mut buf = InputBuffer::new(1);
-        let a = packet(0, 2);
+        let a = packet(&mut arena, 0, 2);
         buf.receive(a[0], 0);
         buf.receive(a[1], 0);
     }
@@ -367,8 +397,9 @@ mod tests {
 
     #[test]
     fn iter_matches_order() {
+        let mut arena = PacketArena::new();
         let mut q = OutputQueue::new(4);
-        let a = packet(0, 3);
+        let a = packet(&mut arena, 0, 3);
         for f in &a {
             q.push(*f);
         }

@@ -86,6 +86,19 @@ pub struct SimConfig {
     /// ordering) always run on every event. Ignored unless
     /// [`audit`](Self::audit) is set.
     pub audit_interval: u64,
+    /// Sparse activity tracking (on by default): each cycle the
+    /// simulator visits only routers holding flits, with idle stretches
+    /// of the whole network fast-forwarded to the next scheduled
+    /// arrival. Sparse and dense stepping are bit-identical — disabling
+    /// this exists for the differential conformance harness and for
+    /// perf comparison, not for correctness.
+    pub sparse: bool,
+    /// Use a precomputed [`noc_routing::CompiledRoutes`] next-hop table
+    /// (on by default) instead of re-evaluating the routing function per
+    /// blocked head flit. Falls back to the dynamic algorithm
+    /// automatically when the algorithm is adaptive; disabling this
+    /// forces the dynamic path everywhere (differential testing).
+    pub compiled_routes: bool,
 }
 
 impl SimConfig {
@@ -140,6 +153,8 @@ impl SimConfigBuilder {
                 router_delay: 0,
                 audit: false,
                 audit_interval: 1,
+                sparse: true,
+                compiled_routes: true,
             },
         }
     }
@@ -231,6 +246,19 @@ impl SimConfigBuilder {
     /// Sets the cycle stride of the auditor's whole-network sweep.
     pub fn audit_interval(&mut self, cycles: u64) -> &mut Self {
         self.config.audit_interval = cycles;
+        self
+    }
+
+    /// Enables or disables sparse activity tracking (idle-router
+    /// skipping and empty-network fast-forward).
+    pub fn sparse(&mut self, enabled: bool) -> &mut Self {
+        self.config.sparse = enabled;
+        self
+    }
+
+    /// Enables or disables the precomputed next-hop table.
+    pub fn compiled_routes(&mut self, enabled: bool) -> &mut Self {
+        self.config.compiled_routes = enabled;
         self
     }
 
@@ -354,6 +382,22 @@ mod tests {
         assert_eq!(cfg.packet_len, 6);
         assert_eq!(cfg.sample_interval, 0);
         assert!(!cfg.record_deliveries);
+        assert!(cfg.sparse, "old specs get the sparse core");
+        assert!(cfg.compiled_routes);
+    }
+
+    #[test]
+    fn sparse_and_compiled_routes_default_on_and_toggle() {
+        let cfg = SimConfig::default();
+        assert!(cfg.sparse);
+        assert!(cfg.compiled_routes);
+        let cfg = SimConfig::builder()
+            .sparse(false)
+            .compiled_routes(false)
+            .build()
+            .unwrap();
+        assert!(!cfg.sparse);
+        assert!(!cfg.compiled_routes);
     }
 
     #[test]

@@ -142,6 +142,198 @@ impl fmt::Display for Flit {
     }
 }
 
+/// Generational handle to a packet slot in a [`PacketArena`].
+///
+/// The generation counter detects stale handles: a slot reused for a new
+/// packet increments its generation, so a leftover reference to the old
+/// packet can no longer resolve.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PacketRef {
+    index: u32,
+    generation: u32,
+}
+
+/// The in-network representation of a flit: a 12-byte handle instead of
+/// the 48-byte [`Flit`] record.
+///
+/// Per-packet constants (source, destination, id, creation cycle) live
+/// once in the [`PacketArena`]; each travelling flit carries only its
+/// packet handle, its position in the packet and its own hop counter.
+/// [`PacketArena::materialize`] reconstructs the full [`Flit`] view for
+/// observability seams (probes, audit, stats) that want the flat record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArenaFlit {
+    /// Handle of the packet this flit belongs to.
+    pub pkt: PacketRef,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Link crossings this flit has made so far.
+    pub hops: u32,
+}
+
+/// Slab allocator for in-flight packet descriptors, SoA layout.
+///
+/// One slot per live packet; slots are recycled through a free list when
+/// the packet's tail flit is consumed (wormhole ordering guarantees the
+/// tail is the last flit of its packet to leave the network, so freeing
+/// at tail consumption can never orphan a sibling flit). Capacity grows
+/// with the peak number of simultaneously in-flight packets — bounded by
+/// buffer space, not by simulation length — so per-packet heap
+/// allocation disappears from the generate hot path.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{FlitKind, PacketArena, PacketId};
+/// use noc_topology::NodeId;
+///
+/// let mut arena = PacketArena::new();
+/// let pkt = arena.alloc(PacketId::new(0), NodeId::new(1), NodeId::new(4), 100);
+/// assert_eq!(arena.dst(pkt), NodeId::new(4));
+/// let flit = arena.flit(pkt, FlitKind::Head);
+/// assert_eq!(arena.materialize(flit).src, NodeId::new(1));
+/// arena.free(pkt);
+/// assert_eq!(arena.live(), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PacketArena {
+    id: Vec<PacketId>,
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    created: Vec<u64>,
+    generation: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Creates an empty arena with room for `capacity` concurrent
+    /// packets before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PacketArena {
+            id: Vec::with_capacity(capacity),
+            src: Vec::with_capacity(capacity),
+            dst: Vec::with_capacity(capacity),
+            created: Vec::with_capacity(capacity),
+            generation: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (allocated, not yet freed) packets.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Allocates a slot for one packet and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (the simulator never self-addresses) or if
+    /// the arena exceeds `u32::MAX` slots.
+    pub fn alloc(&mut self, id: PacketId, src: NodeId, dst: NodeId, created: u64) -> PacketRef {
+        assert_ne!(src, dst, "packet source must differ from destination");
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let i = index as usize;
+            self.id[i] = id;
+            self.src[i] = src;
+            self.dst[i] = dst;
+            self.created[i] = created;
+            PacketRef {
+                index,
+                generation: self.generation[i],
+            }
+        } else {
+            let index = u32::try_from(self.id.len()).expect("arena exceeds u32::MAX packets");
+            self.id.push(id);
+            self.src.push(src);
+            self.dst.push(dst);
+            self.created.push(created);
+            self.generation.push(0);
+            PacketRef {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Releases a packet slot for reuse, invalidating all existing
+    /// handles to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pkt` is stale (already freed).
+    pub fn free(&mut self, pkt: PacketRef) {
+        let i = self.check(pkt);
+        self.generation[i] = self.generation[i].wrapping_add(1);
+        self.free.push(pkt.index);
+        self.live -= 1;
+    }
+
+    #[inline]
+    fn check(&self, pkt: PacketRef) -> usize {
+        let i = pkt.index as usize;
+        assert_eq!(
+            self.generation[i], pkt.generation,
+            "stale packet handle {pkt:?}"
+        );
+        i
+    }
+
+    /// Packet identifier of the packet behind `pkt`.
+    #[inline]
+    pub fn packet_id(&self, pkt: PacketRef) -> PacketId {
+        self.id[self.check(pkt)]
+    }
+
+    /// Source node of the packet behind `pkt`.
+    #[inline]
+    pub fn src(&self, pkt: PacketRef) -> NodeId {
+        self.src[self.check(pkt)]
+    }
+
+    /// Destination node of the packet behind `pkt`.
+    #[inline]
+    pub fn dst(&self, pkt: PacketRef) -> NodeId {
+        self.dst[self.check(pkt)]
+    }
+
+    /// Creation cycle of the packet behind `pkt`.
+    #[inline]
+    pub fn created(&self, pkt: PacketRef) -> u64 {
+        self.created[self.check(pkt)]
+    }
+
+    /// Builds an in-network flit of packet `pkt` with zero hops.
+    #[inline]
+    pub fn flit(&self, pkt: PacketRef, kind: FlitKind) -> ArenaFlit {
+        let _ = self.check(pkt);
+        ArenaFlit { pkt, kind, hops: 0 }
+    }
+
+    /// Reconstructs the flat [`Flit`] view of an in-network flit, for
+    /// the observability seams (probes, audit, deliveries).
+    #[inline]
+    pub fn materialize(&self, flit: ArenaFlit) -> Flit {
+        let i = self.check(flit.pkt);
+        Flit {
+            packet: self.id[i],
+            kind: flit.kind,
+            src: self.src[i],
+            dst: self.dst[i],
+            created: self.created[i],
+            hops: u64::from(flit.hops),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +395,56 @@ mod tests {
         let flits = Flit::packet(PacketId::new(9), NodeId::new(1), NodeId::new(4), 2, 0);
         assert_eq!(flits[0].to_string(), "p9H[n1->n4]");
         assert_eq!(flits[1].to_string(), "p9T[n1->n4]");
+    }
+
+    #[test]
+    fn arena_round_trips_packet_fields() {
+        let mut arena = PacketArena::new();
+        let pkt = arena.alloc(PacketId::new(7), NodeId::new(2), NodeId::new(5), 42);
+        assert_eq!(arena.packet_id(pkt), PacketId::new(7));
+        assert_eq!(arena.src(pkt), NodeId::new(2));
+        assert_eq!(arena.dst(pkt), NodeId::new(5));
+        assert_eq!(arena.created(pkt), 42);
+        let mut flit = arena.flit(pkt, FlitKind::Tail);
+        flit.hops = 3;
+        let full = arena.materialize(flit);
+        assert_eq!(
+            full,
+            Flit {
+                packet: PacketId::new(7),
+                kind: FlitKind::Tail,
+                src: NodeId::new(2),
+                dst: NodeId::new(5),
+                created: 42,
+                hops: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn arena_recycles_slots_with_new_generation() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(PacketId::new(0), NodeId::new(0), NodeId::new(1), 0);
+        arena.free(a);
+        let b = arena.alloc(PacketId::new(1), NodeId::new(3), NodeId::new(4), 9);
+        assert_ne!(a, b, "recycled slot must carry a fresh generation");
+        assert_eq!(arena.live(), 1);
+        assert_eq!(arena.packet_id(b), PacketId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn arena_rejects_stale_handles() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(PacketId::new(0), NodeId::new(0), NodeId::new(1), 0);
+        arena.free(a);
+        let _ = arena.dst(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn arena_rejects_self_addressed_packets() {
+        let mut arena = PacketArena::new();
+        let _ = arena.alloc(PacketId::new(0), NodeId::new(1), NodeId::new(1), 0);
     }
 }

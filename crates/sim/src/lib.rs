@@ -58,7 +58,7 @@ pub use audit::{AuditReport, AuditViolation, BufferClass, BufferRef, Invariant, 
 pub use buffer::{InputBuffer, OutputQueue, SlotRoute};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use error::SimError;
-pub use flit::{Flit, FlitKind, PacketId};
+pub use flit::{ArenaFlit, Flit, FlitKind, PacketArena, PacketId, PacketRef};
 pub use network::{Delivery, Occupancy, Simulation};
 pub use probe::{
     BufferPeak, LatencyBreakdown, NetworkShape, NullProbe, PacketTiming, Probe, Recorder,

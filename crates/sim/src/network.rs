@@ -31,18 +31,42 @@
 //!    ([`noc_routing::RoutingAlgorithm`]) and claim a (port, VC), body
 //!    and tail flits follow the wormhole allocation; one write per
 //!    output port per cycle, inputs served round-robin.
+//!
+//! # Sparse active-set core
+//!
+//! Phases 2–4 iterate an **active-router worklist** instead of all
+//! nodes: a router is on the list exactly while it holds at least one
+//! flit in any of its queues (source, input, output, ejection —
+//! tracked by a per-node flit counter). A flitless router is a proven
+//! no-op in every phase — its queues are empty and any lingering
+//! wormhole allocation belongs to a packet whose remaining flits are
+//! still upstream — so skipping it is bit-exact. The list is kept
+//! sorted ascending, so phase side effects (probe events, audit
+//! checks, statistics) fire in the same order as a dense `0..n` scan.
+//! Round-robin pointers that previously advanced unconditionally every
+//! cycle (`eject_rr`, `rr_offset`) are derived from the cycle counter
+//! instead of stored, so an idle router needs no per-cycle pointer
+//! maintenance either. When the network holds no flits at all,
+//! [`Simulation::run`] fast-forwards the clock to the next scheduled
+//! arrival. `SimConfig::sparse` disables all of this (dense scan) for
+//! differential conformance; both modes produce bit-identical results.
 
 use crate::audit::{AuditReport, Auditor};
 use crate::buffer::{InputBuffer, OutputQueue, SlotRoute};
 use crate::des::{EventQueue, SimTime};
+use crate::flit::{ArenaFlit, FlitKind, PacketArena};
 use crate::probe::{NetworkShape, NullProbe, Probe};
 use crate::stats::LinkLoad;
-use crate::{Flit, PacketId, SimConfig, SimError, SimStats};
-use noc_routing::RoutingAlgorithm;
+use crate::{PacketId, SimConfig, SimError, SimStats};
+use noc_routing::{CompiledRoutes, RoutingAlgorithm};
 use noc_topology::{Direction, NodeId, Topology};
 use noc_traffic::{Trace, TrafficPattern};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::collections::VecDeque;
+
+/// Sentinel in a node's direction→port map for directions the node has
+/// no link in.
+const NO_PORT: u8 = u8::MAX;
 
 /// Per-node router and network-interface state.
 ///
@@ -59,20 +83,26 @@ pub(crate) struct NodeState {
     /// Local ejection queues towards the IP sink (one per ejection
     /// channel; the IP consumes up to `sink_rate` flits per cycle).
     pub(crate) eject: Vec<OutputQueue>,
-    /// Round-robin pointer over ejection queues for the sink.
-    eject_rr: usize,
     /// Input buffers, indexed `[dir][vc]`.
     pub(crate) input: Vec<Vec<InputBuffer>>,
     /// Per link direction: VC round-robin pointer for link arbitration.
+    /// Stored (not cycle-derived) because it only advances on actual
+    /// transfers.
     link_rr: Vec<usize>,
     /// Flits awaiting injection, whole packets back to back.
-    pub(crate) source_queue: VecDeque<Flit>,
+    pub(crate) source_queue: VecDeque<ArenaFlit>,
     /// Wormhole allocation of the packet currently being injected.
     source_route: Option<SlotRoute>,
-    /// Rotating priority pointer for switch allocation.
-    rr_offset: usize,
     /// Whether the traffic pattern generates packets here.
     is_source: bool,
+    /// Port index per [`Direction::index`], [`NO_PORT`] where absent —
+    /// lets the compiled-route fast path turn a direction into a port
+    /// without scanning `dirs`.
+    port_of: [u8; Direction::ALL.len()],
+    /// Forward-slot index → `(port, vc)`, precomputed so the switch
+    /// allocation loop never divides by the VC count (a real `div`
+    /// instruction, since `vcs` is a runtime value).
+    slot_map: Vec<(u8, u8)>,
 }
 
 /// A complete wormhole NoC simulation: topology + routing + traffic +
@@ -109,6 +139,10 @@ pub(crate) struct NodeState {
 pub struct Simulation<P: Probe = NullProbe> {
     topo: Box<dyn Topology>,
     pub(crate) routing: Box<dyn RoutingAlgorithm>,
+    /// Precompiled next-hop table, present when the algorithm is
+    /// deterministic and [`SimConfig::compiled_routes`] is enabled.
+    /// `None` falls back to the dynamic algorithm (adaptive routing).
+    compiled: Option<CompiledRoutes>,
     /// `None` in trace-replay mode.
     pattern: Option<Box<dyn TrafficPattern>>,
     config: SimConfig,
@@ -116,6 +150,9 @@ pub struct Simulation<P: Probe = NullProbe> {
     num_sources: usize,
     rng: SmallRng,
     pub(crate) nodes: Vec<NodeState>,
+    /// Per-packet descriptor storage; buffers hold 12-byte
+    /// [`ArenaFlit`] handles into it.
+    pub(crate) arena: PacketArena,
     arrivals: EventQueue<Arrival>,
     cycle: u64,
     next_packet: u64,
@@ -143,6 +180,36 @@ pub struct Simulation<P: Probe = NullProbe> {
     dir_scratch: Vec<Direction>,
     /// Reusable buffer for candidate (port, VC) allocations.
     route_scratch: Vec<SlotRoute>,
+    /// `active_mask[v]` ⟺ `v` is in the worklist (on `active_nodes` or
+    /// `pending_active`). Invariant at every cycle boundary:
+    /// `active_mask[v] ⟺ node_flits[v].total() > 0`. Dense mode pins
+    /// every entry `true`.
+    active_mask: Vec<bool>,
+    /// The active-router worklist, sorted ascending so sparse phase
+    /// iteration replays the dense `0..n` event order.
+    active_nodes: Vec<usize>,
+    /// Routers activated mid-phase (generation, link arrival), merged
+    /// into `active_nodes` before the next phase that must see them.
+    pending_active: Vec<usize>,
+    /// Flits resident at each node, split by buffer class and
+    /// maintained incrementally at every flit movement. The total
+    /// gates worklist retirement; the per-class fields let each phase
+    /// skip a node with one counter load instead of scanning its
+    /// queues (an active router rarely participates in all three
+    /// phases the same cycle).
+    node_flits: Vec<NodeFlits>,
+    /// Σ over stepped cycles of the active-set size; with the cycle
+    /// count this yields [`active_router_ratio`](Self::active_router_ratio).
+    active_node_cycles: u64,
+    /// Bit `d * vcs + vc` set ⟺ the output queue of `(v, d, vc)` is
+    /// non-empty. Maintained in every mode; only the sparse phase
+    /// loops consult it (skipping an empty queue is dense-identical).
+    out_slots: Vec<u32>,
+    /// Bit `d * vcs + vc` set ⟺ the input buffer of `(v, d, vc)` is
+    /// non-empty (ready or not) — same bit layout as the forward slots
+    /// of [`NodeState::slot_map`], so switch allocation tests a slot
+    /// with one shift. Same maintenance contract as `out_dirs`.
+    in_slots: Vec<u32>,
     /// Runtime invariant auditor, attached when
     /// [`SimConfig::audit`] is set. Boxed: the common unaudited path
     /// pays one pointer; hooks take/restore it around calls so the
@@ -151,6 +218,28 @@ pub struct Simulation<P: Probe = NullProbe> {
     /// Observation probe: hooks fire on every lifecycle transition.
     /// [`NullProbe`] (the default) compiles them all away.
     probe: P,
+}
+
+/// Per-node flit occupancy by buffer class. Kept in one 16-byte struct
+/// so a phase's skip check and the retirement total stay on a single
+/// cache line per node.
+#[derive(Clone, Copy, Default, Debug)]
+struct NodeFlits {
+    /// Flits waiting in the source (injection) queue.
+    source: u32,
+    /// Flits held in input buffers.
+    input: u32,
+    /// Flits held in output VC queues.
+    output: u32,
+    /// Flits held in ejection queues.
+    eject: u32,
+}
+
+impl NodeFlits {
+    /// Flits at the node across all classes; zero ⟺ skippable.
+    fn total(self) -> u32 {
+        self.source + self.input + self.output + self.eject
+    }
 }
 
 /// Sentinel output-port index for the local ejection queue.
@@ -336,6 +425,13 @@ impl<P: Probe> Simulation<P> {
                 "router at {v} has {} link ports, more than any known topology",
                 dirs.len()
             );
+            // The per-router input-occupancy word keeps one bit per
+            // forward slot (port, VC).
+            assert!(
+                dirs.len() * vcs <= u32::BITS as usize,
+                "router at {v} has {} forward slots, more than the occupancy word holds",
+                dirs.len() * vcs
+            );
             let peer = dirs
                 .iter()
                 .map(|&d| {
@@ -365,19 +461,26 @@ impl<P: Probe> Simulation<P> {
                         .collect()
                 })
                 .collect();
+            let mut port_of = [NO_PORT; Direction::ALL.len()];
+            for (p, &d) in dirs.iter().enumerate() {
+                port_of[d.index()] = p as u8;
+            }
+            let slot_map = (0..dirs.len() * vcs)
+                .map(|idx| ((idx / vcs) as u8, (idx % vcs) as u8))
+                .collect();
             nodes.push(NodeState {
+                slot_map,
                 link_rr: vec![0; dirs.len()],
                 peer,
                 out,
                 eject: (0..config.sink_rate)
                     .map(|_| OutputQueue::new(config.output_buffer_capacity))
                     .collect(),
-                eject_rr: 0,
                 input,
                 source_queue: VecDeque::new(),
                 source_route: None,
-                rr_offset: 0,
                 is_source: is_source(v),
+                port_of,
                 dirs,
             });
         }
@@ -405,14 +508,29 @@ impl<P: Probe> Simulation<P> {
             peer: nodes.iter().map(|node| node.peer.clone()).collect(),
         });
 
+        let compiled = if config.compiled_routes {
+            CompiledRoutes::compile(routing.as_ref(), topology.as_ref())
+        } else {
+            None
+        };
+        // Dense mode keeps every router permanently on the worklist;
+        // sparse mode starts empty (no flits anywhere yet).
+        let (active_mask, active_nodes) = if config.sparse {
+            (vec![false; n], Vec::new())
+        } else {
+            (vec![true; n], (0..n).collect())
+        };
+
         Ok(Simulation {
             topo: topology,
             routing,
+            compiled,
             pattern,
             vcs,
             num_sources: 0,
             rng: SmallRng::seed_from_u64(config.seed),
             nodes,
+            arena: PacketArena::new(),
             arrivals: EventQueue::new(),
             cycle: 0,
             next_packet: 0,
@@ -428,6 +546,13 @@ impl<P: Probe> Simulation<P> {
             window_flits: 0,
             dir_scratch: Vec::new(),
             route_scratch: Vec::new(),
+            active_mask,
+            active_nodes,
+            pending_active: Vec::new(),
+            node_flits: vec![NodeFlits::default(); n],
+            active_node_cycles: 0,
+            out_slots: vec![0; n],
+            in_slots: vec![0; n],
             auditor,
             probe,
             config,
@@ -511,6 +636,34 @@ impl<P: Probe> Simulation<P> {
         self.source_flits
     }
 
+    /// Number of routers currently on the active worklist (all of them
+    /// in dense mode).
+    pub fn active_routers(&self) -> usize {
+        self.active_nodes.len()
+    }
+
+    /// Mean fraction of routers touched per cycle since the start of
+    /// the run: `Σ active-set size / (cycles × routers)`.
+    ///
+    /// Fast-forwarded cycles count as zero active routers; a dense run
+    /// reports exactly `1.0`. Returns `0.0` before the first cycle.
+    pub fn active_router_ratio(&self) -> f64 {
+        let denom = self.cycle.saturating_mul(self.nodes.len() as u64);
+        if denom == 0 {
+            0.0
+        } else {
+            self.active_node_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Whether head flits are routed through a precompiled next-hop
+    /// table (deterministic algorithms with
+    /// [`SimConfig::compiled_routes`] enabled) rather than by invoking
+    /// the routing algorithm per flit.
+    pub fn uses_compiled_routes(&self) -> bool {
+        self.compiled.is_some()
+    }
+
     /// The audit findings so far, if auditing is enabled
     /// ([`SimConfig::audit`]).
     pub fn audit_report(&self) -> Option<&AuditReport> {
@@ -546,6 +699,9 @@ impl<P: Probe> Simulation<P> {
             if self.cycle == self.config.warmup_cycles {
                 self.begin_measurement();
             }
+            if self.try_fast_forward(total) {
+                continue;
+            }
             self.step()?;
         }
         let mut stats = self.stats.clone();
@@ -569,6 +725,53 @@ impl<P: Probe> Simulation<P> {
         Ok(stats)
     }
 
+    /// Jumps the clock over a provably empty stretch: no flit anywhere
+    /// (network or source queues) means every cycle until the next
+    /// scheduled arrival is a no-op, including its statistics — the
+    /// only dense side effect, zero-valued throughput samples, is
+    /// replayed here. Never crosses the warmup boundary (so
+    /// measurement starts on time) and never fires under an auditor or
+    /// an active probe, both of which observe every cycle.
+    ///
+    /// Returns `true` if the clock advanced.
+    fn try_fast_forward(&mut self, total: u64) -> bool {
+        if !self.config.sparse || P::ACTIVE || self.auditor.is_some() {
+            return false;
+        }
+        if self.in_network != 0 || self.source_flits != 0 {
+            return false;
+        }
+        let mut target = match self.arrivals.peek_time() {
+            Some(t) => t.cycle().min(total),
+            None => total,
+        };
+        if self.cycle < self.config.warmup_cycles {
+            target = target.min(self.config.warmup_cycles);
+        }
+        if target <= self.cycle {
+            return false;
+        }
+        if self.measuring && self.config.sample_interval > 0 {
+            let w = self.config.warmup_cycles;
+            let i = self.config.sample_interval;
+            // A skipped cycle c emits a sample when (c + 1 - w) is a
+            // multiple of i. Nothing is delivered while skipping, but
+            // the first boundary may close a window that saw deliveries
+            // before the network drained — same formula as the dense
+            // path; every later window in the stretch samples zero.
+            for _ in ((self.cycle - w) / i)..((target - w) / i) {
+                let delivered_now = self.stats.flits_delivered;
+                let in_window = delivered_now - self.window_flits;
+                self.stats
+                    .throughput_samples
+                    .push(in_window as f64 / i as f64);
+                self.window_flits = delivered_now;
+            }
+        }
+        self.cycle = target;
+        true
+    }
+
     fn begin_measurement(&mut self) {
         self.stats = SimStats::default();
         let n = self.nodes.len();
@@ -583,6 +786,54 @@ impl<P: Probe> Simulation<P> {
         self.measuring = true;
     }
 
+    /// Puts router `v` on the active worklist if it is not already
+    /// there. Activations land on `pending_active` and are merged (in
+    /// node order) before the next phase that must see them.
+    #[inline]
+    fn activate(&mut self, v: usize) {
+        if !self.active_mask[v] {
+            self.active_mask[v] = true;
+            self.pending_active.push(v);
+        }
+    }
+
+    /// Folds `pending_active` into the sorted worklist.
+    fn merge_pending(&mut self) {
+        if self.pending_active.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending_active);
+        pending.sort_unstable();
+        for v in pending.drain(..) {
+            if let Err(pos) = self.active_nodes.binary_search(&v) {
+                self.active_nodes.insert(pos, v);
+            }
+        }
+        self.pending_active = pending;
+    }
+
+    /// Drops routers whose flit count hit zero from the worklist
+    /// (sparse mode only; dense mode keeps everyone).
+    fn retire_idle(&mut self) {
+        if !self.config.sparse {
+            return;
+        }
+        let Simulation {
+            active_nodes,
+            active_mask,
+            node_flits,
+            ..
+        } = self;
+        active_nodes.retain(|&v| {
+            if node_flits[v].total() > 0 {
+                true
+            } else {
+                active_mask[v] = false;
+                false
+            }
+        });
+    }
+
     /// Advances the simulation by one cycle.
     ///
     /// # Errors
@@ -592,15 +843,21 @@ impl<P: Probe> Simulation<P> {
     pub fn step(&mut self) -> Result<(), SimError> {
         let mut moved = false;
         self.generate();
+        self.merge_pending();
         moved |= self.consume();
         moved |= self.transfer_links();
+        // Link arrivals can enable same-cycle switch allocation at the
+        // receiver (zero router delay), so merge before allocating.
+        self.merge_pending();
         moved |= self.allocate_switches();
+        self.active_node_cycles += self.active_nodes.len() as u64;
         self.end_of_cycle_bookkeeping();
         self.probe.on_cycle_end(self.cycle);
         if let Some(mut auditor) = self.auditor.take() {
             auditor.on_cycle_end(&*self);
             self.auditor = Some(auditor);
         }
+        self.retire_idle();
 
         if !moved && self.in_network > 0 {
             self.idle_cycles += 1;
@@ -638,17 +895,28 @@ impl<P: Probe> Simulation<P> {
             };
             let pid = PacketId::new(self.next_packet);
             self.next_packet += 1;
-            let flits = Flit::packet(pid, src, dst, self.config.packet_len, self.cycle);
-            self.probe
-                .on_generate(self.cycle, pid, src, dst, flits.len());
-            self.total_flits_generated += flits.len() as u64;
-            self.source_flits += flits.len() as u64;
+            let len = self.config.packet_len;
+            let pkt = self.arena.alloc(pid, src, dst, self.cycle);
+            self.probe.on_generate(self.cycle, pid, src, dst, len);
+            self.total_flits_generated += len as u64;
+            self.source_flits += len as u64;
             if self.measuring {
                 self.stats.packets_generated += 1;
-                self.stats.flits_generated += flits.len() as u64;
+                self.stats.flits_generated += len as u64;
                 self.stats.per_node_generated[v] += 1;
             }
-            self.nodes[v].source_queue.extend(flits);
+            let queue = &mut self.nodes[v].source_queue;
+            for i in 0..len {
+                let kind = match (i, len) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, l) if i + 1 == l => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                queue.push_back(ArenaFlit { pkt, kind, hops: 0 });
+            }
+            self.node_flits[v].source += len as u32;
+            self.activate(v);
             // Stochastic sources reschedule themselves; trace arrivals
             // were all scheduled up front.
             if arrival.dst.is_none() {
@@ -669,12 +937,25 @@ impl<P: Probe> Simulation<P> {
     fn consume(&mut self) -> bool {
         let mut moved = false;
         let channels = self.config.sink_rate;
-        for v in 0..self.nodes.len() {
-            let start = self.nodes[v].eject_rr;
-            self.nodes[v].eject_rr = (start + 1) % channels;
+        // The sink round-robin pointer used to advance once per node
+        // per cycle unconditionally, so it is a pure function of the
+        // cycle counter — derived here instead of stored, which keeps
+        // idle routers entirely untouched.
+        let start = (self.cycle % channels as u64) as usize;
+        let sparse = self.config.sparse;
+        let active = std::mem::take(&mut self.active_nodes);
+        for &v in &active {
+            // Dense-identical skip: a node with no ejected flits pops
+            // nothing from any channel.
+            if sparse && self.node_flits[v].eject == 0 {
+                continue;
+            }
             let mut budget = self.config.sink_rate;
             'outer: for k in 0..channels {
-                let q = (start + k) % channels;
+                let mut q = start + k;
+                if q >= channels {
+                    q -= channels;
+                }
                 while budget > 0 {
                     let Some(flit) = self.nodes[v].eject[q].pop() else {
                         break;
@@ -682,12 +963,16 @@ impl<P: Probe> Simulation<P> {
                     budget -= 1;
                     moved = true;
                     self.in_network -= 1;
+                    self.node_flits[v].eject -= 1;
                     self.total_flits_consumed += 1;
-                    if let Some(mut auditor) = self.auditor.take() {
-                        auditor.on_consume(self.cycle, v, &flit);
-                        self.auditor = Some(auditor);
+                    if self.auditor.is_some() || P::ACTIVE {
+                        let full = self.arena.materialize(flit);
+                        if let Some(mut auditor) = self.auditor.take() {
+                            auditor.on_consume(self.cycle, v, &full);
+                            self.auditor = Some(auditor);
+                        }
+                        self.probe.on_consume(self.cycle, v, q, &full);
                     }
-                    self.probe.on_consume(self.cycle, v, q, &flit);
                     if self.measuring {
                         self.stats.flits_delivered += 1;
                         self.stats.per_node_delivered[v] += 1;
@@ -695,23 +980,27 @@ impl<P: Probe> Simulation<P> {
                     if flit.kind.is_tail() {
                         // The tail crossed exactly the links the head
                         // did (wormhole), so its own counter is the
-                        // packet's hop count.
-                        let hops = flit.hops;
+                        // packet's hop count; and it is the last flit
+                        // of its packet to leave the network, so its
+                        // arena slot can be recycled here.
+                        let hops = u64::from(flit.hops);
+                        let created = self.arena.created(flit.pkt);
                         if self.measuring {
                             self.stats.packets_delivered += 1;
                             self.stats.total_hops += hops;
-                            self.stats.latency.record(self.cycle - flit.created);
+                            self.stats.latency.record(self.cycle - created);
                         }
                         if self.config.record_deliveries {
                             self.deliveries.push(Delivery {
                                 cycle: self.cycle,
-                                packet: flit.packet,
-                                src: flit.src,
-                                dst: flit.dst,
-                                latency: self.cycle - flit.created,
+                                packet: self.arena.packet_id(flit.pkt),
+                                src: self.arena.src(flit.pkt),
+                                dst: self.arena.dst(flit.pkt),
+                                latency: self.cycle - created,
                                 hops,
                             });
                         }
+                        self.arena.free(flit.pkt);
                     }
                 }
                 if budget == 0 {
@@ -719,6 +1008,7 @@ impl<P: Probe> Simulation<P> {
                 }
             }
         }
+        self.active_nodes = active;
         moved
     }
 
@@ -730,28 +1020,61 @@ impl<P: Probe> Simulation<P> {
     /// `(v, d)` is the only writer of its downstream input buffer and
     /// the only reader of its upstream output queues — no transfer on
     /// another link can change this link's decision, and links have no
-    /// self-loops (`v != peer`).
+    /// self-loops (`v != peer`). The same independence makes the
+    /// active-set scan equivalent to the dense scan: links out of a
+    /// skipped router have empty output queues and transfer nothing.
     fn transfer_links(&mut self) -> bool {
         let mut moved = false;
         let eligible = self.cycle + self.config.router_delay;
-        for v in 0..self.nodes.len() {
+        let sparse = self.config.sparse;
+        let active = std::mem::take(&mut self.active_nodes);
+        for &v in &active {
+            // Dense-identical skip: every output queue of this node is
+            // empty, so none of its links transfers anything.
+            if sparse && self.node_flits[v].output == 0 {
+                continue;
+            }
+            // Snapshot: bits only clear during this node's turn (pushes
+            // happen in the allocation phase), so a stale set bit just
+            // re-checks an emptied queue.
+            let slot_mask = self.out_slots[v];
+            let vc_mask = ((1u64 << self.vcs) - 1) as u32;
             for d in 0..self.nodes[v].dirs.len() {
+                if sparse && slot_mask & (vc_mask << (d * self.vcs)) == 0 {
+                    continue;
+                }
                 let (peer, peer_port) = self.nodes[v].peer[d];
                 let start = self.nodes[v].link_rr[d];
                 for k in 0..self.vcs {
-                    let vc = (start + k) % self.vcs;
+                    let mut vc = start + k;
+                    if vc >= self.vcs {
+                        vc -= self.vcs;
+                    }
+                    if sparse && slot_mask & (1 << (d * self.vcs + vc)) == 0 {
+                        continue;
+                    }
                     if self.nodes[v].out[d][vc].front().is_some()
                         && self.nodes[peer].input[peer_port][vc].has_space()
                     {
                         let mut flit = self.nodes[v].out[d][vc].pop().expect("checked above");
-                        self.nodes[v].link_rr[d] = (vc + 1) % self.vcs;
+                        self.nodes[v].link_rr[d] = if vc + 1 == self.vcs { 0 } else { vc + 1 };
                         flit.hops += 1;
-                        if let Some(mut auditor) = self.auditor.take() {
-                            auditor.on_link_transfer(&*self, v, d, vc, &flit);
-                            self.auditor = Some(auditor);
+                        if self.auditor.is_some() || P::ACTIVE {
+                            let full = self.arena.materialize(flit);
+                            if let Some(mut auditor) = self.auditor.take() {
+                                auditor.on_link_transfer(&*self, v, d, vc, &full);
+                                self.auditor = Some(auditor);
+                            }
+                            self.probe.on_link_traverse(self.cycle, v, d, vc, &full);
                         }
-                        self.probe.on_link_traverse(self.cycle, v, d, vc, &flit);
                         self.nodes[peer].input[peer_port][vc].receive(flit, eligible);
+                        self.in_slots[peer] |= 1 << (peer_port * self.vcs + vc);
+                        if self.nodes[v].out[d][vc].is_empty() {
+                            self.out_slots[v] &= !(1 << (d * self.vcs + vc));
+                        }
+                        self.node_flits[v].output -= 1;
+                        self.node_flits[peer].input += 1;
+                        self.activate(peer);
                         if self.measuring {
                             self.stats.link_traversals += 1;
                             self.link_counters[v][d] += 1;
@@ -762,15 +1085,26 @@ impl<P: Probe> Simulation<P> {
                 }
             }
         }
+        self.active_nodes = active;
         moved
     }
 
-    /// Phase 4: switch allocation at every router.
+    /// Phase 4: switch allocation at every active router.
     fn allocate_switches(&mut self) -> bool {
         let mut moved = false;
-        for v in 0..self.nodes.len() {
+        let sparse = self.config.sparse;
+        let active = std::mem::take(&mut self.active_nodes);
+        for &v in &active {
+            // Dense-identical skip: with nothing in the source queue
+            // and nothing in any input buffer, every slot's inject /
+            // forward attempt returns without touching state.
+            let flits = self.node_flits[v];
+            if sparse && flits.source == 0 && flits.input == 0 {
+                continue;
+            }
             moved |= self.allocate_node(v);
         }
+        self.active_nodes = active;
         moved
     }
 
@@ -780,8 +1114,10 @@ impl<P: Probe> Simulation<P> {
     fn allocate_node(&mut self, v: usize) -> bool {
         let num_dirs = self.nodes[v].dirs.len();
         let nslots = 1 + num_dirs * self.vcs;
-        let start = self.nodes[v].rr_offset;
-        self.nodes[v].rr_offset = (start + 1) % nslots;
+        // Like the sink pointer, the rotating priority used to advance
+        // once per node per cycle unconditionally — cycle-derived, so
+        // idle routers carry no allocation state at all.
+        let start = (self.cycle % nslots as u64) as usize;
         // Writes left per output port this cycle: one per link port
         // (crossbar), `sink_rate` for the ejection port (the IP
         // interface is as wide as its consumption rate). A stack array
@@ -790,13 +1126,29 @@ impl<P: Probe> Simulation<P> {
         let mut used = [1usize; MAX_PORTS];
         used[num_dirs] = self.config.sink_rate;
         let mut moved = false;
+        // Dense-identical slot skips: an empty source queue makes the
+        // inject slot a no-op, an empty input buffer makes its forward
+        // slot a no-op. Snapshots are safe — bits only clear during
+        // this node's allocation, and a stale set bit just re-runs the
+        // cheap empty check.
+        let sparse = self.config.sparse;
+        let has_source = self.node_flits[v].source > 0;
+        let slot_mask = self.in_slots[v];
         for k in 0..nslots {
-            let slot = (start + k) % nslots;
+            let mut slot = start + k;
+            if slot >= nslots {
+                slot -= nslots;
+            }
             if slot == 0 {
-                moved |= self.try_inject(v, &mut used);
+                if !sparse || has_source {
+                    moved |= self.try_inject(v, &mut used);
+                }
             } else {
-                let idx = slot - 1;
-                moved |= self.try_forward(v, idx / self.vcs, idx % self.vcs, &mut used);
+                if sparse && slot_mask & (1 << (slot - 1)) == 0 {
+                    continue;
+                }
+                let (d, vc) = self.nodes[v].slot_map[slot - 1];
+                moved |= self.try_forward(v, usize::from(d), usize::from(vc), &mut used);
             }
         }
         moved
@@ -805,19 +1157,22 @@ impl<P: Probe> Simulation<P> {
     /// Computes the candidate (output port, VC) allocations for a head
     /// flit at node `v` arriving on virtual channel `in_vc`, in the
     /// routing algorithm's preference order, appending them to `out`.
-    /// Deterministic algorithms yield exactly one candidate; adaptive
-    /// ones several, and the switch takes the first whose queue can
-    /// accept the flit.
-    fn head_routes_into(&mut self, v: usize, flit: &Flit, in_vc: usize, out: &mut Vec<SlotRoute>) {
+    /// Deterministic algorithms yield exactly one candidate — served
+    /// from the precompiled table when available; adaptive ones
+    /// several, and the switch takes the first whose queue can accept
+    /// the flit.
+    fn head_routes_into(
+        &mut self,
+        v: usize,
+        flit: &ArenaFlit,
+        in_vc: usize,
+        out: &mut Vec<SlotRoute>,
+    ) {
         let here = NodeId::new(v);
-        // Reuse the direction scratch buffer (taken so the routing call
-        // can borrow `self`); blocked head flits retry every cycle, so
-        // this runs far too often to allocate each time.
-        let mut dirs = std::mem::take(&mut self.dir_scratch);
-        dirs.clear();
-        self.routing.candidates_into(here, flit.dst, &mut dirs);
-        for &dir in &dirs {
-            if dir == Direction::Local {
+        let dst = self.arena.dst(flit.pkt);
+        if let Some(table) = &self.compiled {
+            let hop = table.hop(here, dst);
+            if hop.dir == Direction::Local {
                 // Pick the first ejection channel that can accept the
                 // head (wormhole ownership: one packet per channel).
                 let vc = self.nodes[v]
@@ -828,7 +1183,36 @@ impl<P: Probe> Simulation<P> {
                 out.push(SlotRoute {
                     out_port: EJECT,
                     out_vc: vc,
-                    packet: flit.packet,
+                    packet: flit.pkt,
+                });
+            } else {
+                let port = usize::from(self.nodes[v].port_of[hop.dir.index()]);
+                debug_assert!(port < self.nodes[v].dirs.len(), "compiled absent port");
+                out.push(SlotRoute {
+                    out_port: port,
+                    out_vc: usize::from(hop.out_vc[in_vc]),
+                    packet: flit.pkt,
+                });
+            }
+            return;
+        }
+        // Reuse the direction scratch buffer (taken so the routing call
+        // can borrow `self`); blocked head flits retry every cycle, so
+        // this runs far too often to allocate each time.
+        let mut dirs = std::mem::take(&mut self.dir_scratch);
+        dirs.clear();
+        self.routing.candidates_into(here, dst, &mut dirs);
+        for &dir in &dirs {
+            if dir == Direction::Local {
+                let vc = self.nodes[v]
+                    .eject
+                    .iter()
+                    .position(|q| q.can_accept(flit))
+                    .unwrap_or(0);
+                out.push(SlotRoute {
+                    out_port: EJECT,
+                    out_vc: vc,
+                    packet: flit.pkt,
                 });
                 continue;
             }
@@ -837,12 +1221,12 @@ impl<P: Probe> Simulation<P> {
                 .iter()
                 .position(|&d| d == dir)
                 .unwrap_or_else(|| panic!("routing chose absent direction {dir} at {here}"));
-            let vc = self.routing.vc_for_hop(here, flit.dst, dir, in_vc);
+            let vc = self.routing.vc_for_hop(here, dst, dir, in_vc);
             assert!(vc < self.vcs, "routing chose VC {vc} of {}", self.vcs);
             out.push(SlotRoute {
                 out_port: port,
                 out_vc: vc,
-                packet: flit.packet,
+                packet: flit.pkt,
             });
         }
         self.dir_scratch = dirs;
@@ -853,7 +1237,7 @@ impl<P: Probe> Simulation<P> {
     fn try_place(
         &mut self,
         v: usize,
-        flit: &Flit,
+        flit: &ArenaFlit,
         routes: &[SlotRoute],
         used: &mut [usize],
     ) -> Option<SlotRoute> {
@@ -870,25 +1254,37 @@ impl<P: Probe> Simulation<P> {
         let Some(&flit) = self.nodes[v].input[d][vc].front_ready(now) else {
             return false;
         };
-        let mut routes = std::mem::take(&mut self.route_scratch);
-        routes.clear();
-        if flit.kind.is_head() {
+        let route = if flit.kind.is_head() {
+            let mut routes = std::mem::take(&mut self.route_scratch);
+            routes.clear();
             self.head_routes_into(v, &flit, vc, &mut routes);
+            let placed = self.try_place(v, &flit, &routes, used);
+            self.route_scratch = routes;
+            let Some(route) = placed else {
+                return false;
+            };
+            route
         } else {
+            // Body and tail flits reuse the packet's wormhole
+            // allocation: the candidate list is one known route, so
+            // enqueue it directly instead of round-tripping the
+            // scratch vector (5/6 of all forwards at the paper's
+            // 6-flit packets).
             let r = self.nodes[v].input[d][vc]
                 .route
                 .expect("body/tail flit with no wormhole allocation");
-            assert_eq!(r.packet, flit.packet, "stale wormhole allocation");
-            routes.push(r);
-        }
-        let placed = self.try_place(v, &flit, &routes, used);
-        self.route_scratch = routes;
-        let Some(route) = placed else {
-            return false;
+            assert_eq!(r.packet, flit.pkt, "stale wormhole allocation");
+            if !self.enqueue_output(v, &flit, r, used) {
+                return false;
+            }
+            r
         };
-        let out_port = (route.out_port != EJECT).then_some(route.out_port);
-        self.probe
-            .on_buffer_exit(self.cycle, v, d, vc, out_port, route.out_vc, &flit);
+        if P::ACTIVE {
+            let out_port = (route.out_port != EJECT).then_some(route.out_port);
+            let full = self.arena.materialize(flit);
+            self.probe
+                .on_buffer_exit(self.cycle, v, d, vc, out_port, route.out_vc, &full);
+        }
         let node = &mut self.nodes[v];
         node.input[d][vc].take_ready(now);
         node.input[d][vc].route = if flit.kind.is_tail() {
@@ -896,6 +1292,10 @@ impl<P: Probe> Simulation<P> {
         } else {
             Some(route)
         };
+        if node.input[d][vc].is_empty() {
+            self.in_slots[v] &= !(1 << (d * self.vcs + vc));
+        }
+        self.node_flits[v].input -= 1;
         true
     }
 
@@ -904,28 +1304,37 @@ impl<P: Probe> Simulation<P> {
         let Some(&flit) = self.nodes[v].source_queue.front() else {
             return false;
         };
-        let mut routes = std::mem::take(&mut self.route_scratch);
-        routes.clear();
-        if flit.kind.is_head() {
+        let route = if flit.kind.is_head() {
+            let mut routes = std::mem::take(&mut self.route_scratch);
+            routes.clear();
             self.head_routes_into(v, &flit, 0, &mut routes);
             assert!(
                 routes.iter().all(|r| r.out_port != EJECT),
                 "packet addressed to its own source"
             );
+            let placed = self.try_place(v, &flit, &routes, used);
+            self.route_scratch = routes;
+            let Some(route) = placed else {
+                return false;
+            };
+            route
         } else {
+            // Single known route (the packet's injection allocation) —
+            // same direct-enqueue shortcut as the forward path.
             let r = self.nodes[v]
                 .source_route
                 .expect("injecting body/tail with no allocation");
-            assert_eq!(r.packet, flit.packet, "stale injection allocation");
-            routes.push(r);
-        }
-        let placed = self.try_place(v, &flit, &routes, used);
-        self.route_scratch = routes;
-        let Some(route) = placed else {
-            return false;
+            assert_eq!(r.packet, flit.pkt, "stale injection allocation");
+            if !self.enqueue_output(v, &flit, r, used) {
+                return false;
+            }
+            r
         };
-        self.probe
-            .on_inject(self.cycle, v, route.out_port, route.out_vc, &flit);
+        if P::ACTIVE {
+            let full = self.arena.materialize(flit);
+            self.probe
+                .on_inject(self.cycle, v, route.out_port, route.out_vc, &full);
+        }
         let node = &mut self.nodes[v];
         node.source_queue.pop_front();
         node.source_route = if flit.kind.is_tail() {
@@ -933,6 +1342,7 @@ impl<P: Probe> Simulation<P> {
         } else {
             Some(route)
         };
+        self.node_flits[v].source -= 1;
         self.in_network += 1;
         self.source_flits -= 1;
         if self.measuring {
@@ -947,7 +1357,7 @@ impl<P: Probe> Simulation<P> {
     fn enqueue_output(
         &mut self,
         v: usize,
-        flit: &Flit,
+        flit: &ArenaFlit,
         route: SlotRoute,
         used: &mut [usize],
     ) -> bool {
@@ -969,6 +1379,12 @@ impl<P: Probe> Simulation<P> {
             return false;
         }
         queue.push(*flit);
+        if route.out_port == EJECT {
+            self.node_flits[v].eject += 1;
+        } else {
+            self.node_flits[v].output += 1;
+            self.out_slots[v] |= 1 << (route.out_port * self.vcs + route.out_vc);
+        }
         used[used_idx] -= 1;
         true
     }
@@ -987,10 +1403,12 @@ impl<P: Probe> Simulation<P> {
             }
         }
         if self.measuring {
+            // Only active routers can hold source backlog (backlogged
+            // flits keep their router on the worklist).
             let max_backlog = self
-                .nodes
+                .active_nodes
                 .iter()
-                .map(|n| n.source_queue.len() as u64)
+                .map(|&v| u64::from(self.node_flits[v].source))
                 .max()
                 .unwrap_or(0);
             self.stats.max_source_backlog = self.stats.max_source_backlog.max(max_backlog);
@@ -1026,6 +1444,13 @@ mod tests {
             quick_config(lambda),
         )
         .unwrap()
+    }
+
+    fn spidergon_sim_with(n: usize, config: SimConfig) -> Simulation {
+        let topo = Spidergon::new(n).unwrap();
+        let routing = SpidergonAcrossFirst::new(&topo);
+        let pattern = UniformRandom::new(n).unwrap();
+        Simulation::new(Box::new(topo), Box::new(routing), Box::new(pattern), config).unwrap()
     }
 
     #[test]
@@ -1190,5 +1615,77 @@ mod tests {
         }
         assert_eq!(sim.cycle(), 10);
         assert_eq!(sim.config().packet_len, 6);
+    }
+
+    fn variant_config(lambda: f64, sparse: bool, compiled: bool) -> SimConfig {
+        SimConfig::builder()
+            .injection_rate(lambda)
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .seed(777)
+            .record_deliveries(true)
+            .sparse(sparse)
+            .compiled_routes(compiled)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        for lambda in [0.02, 0.3] {
+            let mut sparse = spidergon_sim_with(12, variant_config(lambda, true, true));
+            let mut dense = spidergon_sim_with(12, variant_config(lambda, false, true));
+            let a = sparse.run().unwrap();
+            let b = dense.run().unwrap();
+            assert_eq!(a, b, "stats diverged at lambda {lambda}");
+            assert_eq!(
+                sparse.deliveries(),
+                dense.deliveries(),
+                "deliveries diverged at lambda {lambda}"
+            );
+            assert!(sparse.uses_compiled_routes());
+        }
+    }
+
+    #[test]
+    fn compiled_routes_match_dynamic_routing() {
+        let mut compiled = spidergon_sim_with(12, variant_config(0.2, true, true));
+        let mut dynamic = spidergon_sim_with(12, variant_config(0.2, true, false));
+        assert!(compiled.uses_compiled_routes());
+        assert!(!dynamic.uses_compiled_routes());
+        let a = compiled.run().unwrap();
+        let b = dynamic.run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(compiled.deliveries(), dynamic.deliveries());
+    }
+
+    #[test]
+    fn active_ratio_small_at_low_load_and_one_when_dense() {
+        let mut sparse = spidergon_sim_with(16, variant_config(0.01, true, true));
+        sparse.run().unwrap();
+        let ratio = sparse.active_router_ratio();
+        assert!(ratio > 0.0 && ratio < 0.5, "active ratio {ratio}");
+
+        let mut dense = spidergon_sim_with(16, variant_config(0.01, false, true));
+        dense.run().unwrap();
+        let dense_ratio = dense.active_router_ratio();
+        assert!(
+            (dense_ratio - 1.0).abs() < 1e-12,
+            "dense ratio {dense_ratio}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_replays_zero_throughput_samples() {
+        // Zero injection: sparse mode fast-forwards the whole run,
+        // dense mode steps every cycle; the sampled throughput series
+        // must come out identical anyway.
+        let sparse_stats = spidergon_sim_with(8, variant_config(0.0, true, true))
+            .run()
+            .unwrap();
+        let dense_stats = spidergon_sim_with(8, variant_config(0.0, false, true))
+            .run()
+            .unwrap();
+        assert_eq!(sparse_stats, dense_stats);
     }
 }

@@ -105,6 +105,14 @@ impl NetworkShape {
 /// This trait is sealed; outside this crate it can be named and used
 /// as a bound but not implemented.
 pub trait Probe: sealed::Sealed + core::fmt::Debug {
+    /// `true` for probes that record events ([`Recorder`]), `false` for
+    /// [`NullProbe`]. The simulator uses this monomorphization-time
+    /// constant to skip materializing event payloads on the hot path
+    /// and to disable the sparse core's empty-network fast-forward,
+    /// which would elide the per-cycle [`on_cycle_end`](Probe::on_cycle_end)
+    /// calls a recording probe's time-series depends on.
+    const ACTIVE: bool;
+
     /// Called once at assembly with the network's static description.
     #[inline]
     fn on_attach(&mut self, shape: NetworkShape) {
@@ -177,7 +185,9 @@ pub trait Probe: sealed::Sealed + core::fmt::Debug {
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct NullProbe;
 
-impl Probe for NullProbe {}
+impl Probe for NullProbe {
+    const ACTIVE: bool = false;
+}
 
 /// One recorded flit-lifecycle event.
 ///
@@ -823,6 +833,8 @@ impl Recorder {
 }
 
 impl Probe for Recorder {
+    const ACTIVE: bool = true;
+
     fn on_attach(&mut self, shape: NetworkShape) {
         self.link_flits = shape.dirs.iter().map(|dirs| vec![0; dirs.len()]).collect();
         self.depths = DepthTracker::for_shape(&shape);

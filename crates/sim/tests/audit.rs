@@ -154,6 +154,10 @@ fn mutant_fast_path_caught_with_route_legality_violation() {
         .warmup_cycles(0)
         .measure_cycles(200)
         .audit(true)
+        // The mutant lives in `candidates_into`, the *dynamic* fast
+        // path; the compiled-route table is built from `next_hop` and
+        // would route around the bug entirely.
+        .compiled_routes(false)
         .build()
         .unwrap();
     let mut sim = Simulation::with_trace(Box::new(topo), Box::new(routing), &trace, cfg).unwrap();

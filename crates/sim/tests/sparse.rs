@@ -1,0 +1,149 @@
+//! Property-based differential of the sparse active-set core against
+//! the dense reference: for random short schedules (any topology
+//! family, injection rate, warmup/measure split and seed), idle-router
+//! skipping, clock fast-forward and compiled route tables must never
+//! change `SimStats` or any recorded per-packet delivery (latency,
+//! hops, arrival cycle).
+
+use noc_routing::{MeshXY, RingShortestPath, RoutingAlgorithm, SpidergonAcrossFirst, TorusXY};
+use noc_sim::{SimConfig, Simulation};
+use noc_topology::{RectMesh, Ring, Spidergon, Topology, Torus};
+use noc_traffic::{SingleHotspot, TrafficPattern, UniformRandom};
+use proptest::prelude::*;
+
+/// Builds a (topology, routing) pair from a family selector and a size
+/// knob, both arbitrary.
+fn build_pair(pick: u8, size: usize) -> (Box<dyn Topology>, Box<dyn RoutingAlgorithm>) {
+    match pick % 4 {
+        0 => {
+            let n = size.clamp(3, 24);
+            let t = Ring::new(n).unwrap();
+            let r = RingShortestPath::new(&t);
+            (Box::new(t), Box::new(r))
+        }
+        1 => {
+            let n = (size.clamp(2, 12)) * 2;
+            let t = Spidergon::new(n).unwrap();
+            let r = SpidergonAcrossFirst::new(&t);
+            (Box::new(t), Box::new(r))
+        }
+        2 => {
+            let m = (size % 4) + 2;
+            let n = (size % 3) + 2;
+            let t = RectMesh::new(m, n).unwrap();
+            let r = MeshXY::new(&t);
+            (Box::new(t), Box::new(r))
+        }
+        _ => {
+            let m = (size % 3) + 3;
+            let n = (size % 2) + 3;
+            let t = Torus::new(m, n).unwrap();
+            let r = TorusXY::new(&t);
+            (Box::new(t), Box::new(r))
+        }
+    }
+}
+
+fn build_pattern(hotspot: bool, n: usize) -> Box<dyn TrafficPattern> {
+    if hotspot {
+        Box::new(SingleHotspot::new(n, noc_topology::NodeId::new(0)).unwrap())
+    } else {
+        Box::new(UniformRandom::new(n).unwrap())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    pick: u8,
+    size: usize,
+    hotspot: bool,
+    lambda: f64,
+    warmup: u64,
+    measure: u64,
+    sample_interval: u64,
+    packet_len: usize,
+    seed: u64,
+    sparse: bool,
+    compiled: bool,
+) -> (noc_sim::SimStats, Vec<noc_sim::Delivery>) {
+    let (topo, routing) = build_pair(pick, size);
+    let n = topo.num_nodes();
+    let cfg = SimConfig::builder()
+        .injection_rate(lambda)
+        .packet_len(packet_len)
+        .warmup_cycles(warmup)
+        .measure_cycles(measure)
+        .sample_interval(sample_interval)
+        .seed(seed)
+        .record_deliveries(true)
+        .sparse(sparse)
+        .compiled_routes(compiled)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(topo, routing, build_pattern(hotspot, n), cfg).unwrap();
+    let stats = sim.run().unwrap();
+    let deliveries = sim.deliveries().to_vec();
+    (stats, deliveries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The headline invariant of the sparse core: the full-featured
+    /// path (active set + fast-forward + compiled routes, i.e. the
+    /// defaults) is bit-identical to the dense reference stepping every
+    /// router every cycle with dynamic routing.
+    #[test]
+    fn sparse_core_matches_dense_reference(
+        pick in 0u8..4,
+        size in 3usize..10,
+        hotspot_pick in 0u8..2,
+        lambda in 0.0f64..0.5,
+        warmup in 0u64..200,
+        measure in 50u64..600,
+        sample_interval in 0u64..80,
+        packet_len in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let hotspot = hotspot_pick == 1;
+        let sparse = run_variant(
+            pick, size, hotspot, lambda, warmup, measure, sample_interval,
+            packet_len, seed, true, true,
+        );
+        let dense = run_variant(
+            pick, size, hotspot, lambda, warmup, measure, sample_interval,
+            packet_len, seed, false, false,
+        );
+        prop_assert_eq!(&sparse.0, &dense.0, "SimStats diverged");
+        prop_assert_eq!(&sparse.1, &dense.1, "per-packet deliveries diverged");
+    }
+
+    /// Idle-cycle skipping in isolation (dynamic routing in both runs):
+    /// low rates maximize fast-forward opportunities, so random short
+    /// schedules here stress the clock-jump resampling logic hardest.
+    #[test]
+    fn idle_skipping_never_changes_latencies(
+        pick in 0u8..4,
+        size in 3usize..8,
+        lambda in 0.0f64..0.1,
+        warmup in 0u64..150,
+        measure in 100u64..800,
+        sample_interval in 1u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let sparse = run_variant(
+            pick, size, false, lambda, warmup, measure, sample_interval,
+            4, seed, true, false,
+        );
+        let dense = run_variant(
+            pick, size, false, lambda, warmup, measure, sample_interval,
+            4, seed, false, false,
+        );
+        prop_assert_eq!(&sparse.0, &dense.0, "SimStats diverged");
+        for (a, b) in sparse.1.iter().zip(dense.1.iter()) {
+            prop_assert_eq!(a.latency, b.latency, "packet {:?} latency", a.packet);
+            prop_assert_eq!(a.hops, b.hops, "packet {:?} hops", a.packet);
+        }
+        prop_assert_eq!(sparse.1.len(), dense.1.len());
+    }
+}
