@@ -3,23 +3,20 @@
 //! ```text
 //! cargo run --release --bin all_figures            # paper quality
 //! NOC_FIGURE_MODE=quick cargo run --bin all_figures # smoke run
+//! NOC_CACHE=1 cargo run --release --bin all_figures # incremental:
+//!                          # only points whose spec/seed/code version
+//!                          # changed are re-simulated (bit-identical
+//!                          # output either way)
 //! ```
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = noc_bench::figure_options_from_env();
-    noc_bench::emit(&noc_core::figures::fig2(64))?;
-    noc_bench::emit(&noc_core::figures::fig3(64))?;
-    noc_bench::emit(&noc_core::figures::table_links(&[
-        8, 12, 16, 24, 32, 48, 64,
-    ]))?;
-    noc_bench::emit(&noc_core::figures::fig5(&opts)?)?;
-    let (fig6, fig7) = noc_core::figures::fig6_7(&opts)?;
-    noc_bench::emit(&fig6)?;
-    noc_bench::emit(&fig7)?;
-    let (fig8, fig9) = noc_core::figures::fig8_9(&opts)?;
-    noc_bench::emit(&fig8)?;
-    noc_bench::emit(&fig9)?;
-    let (fig10, fig11) = noc_core::figures::fig10_11(&opts)?;
-    noc_bench::emit(&fig10)?;
-    noc_bench::emit(&fig11)?;
+    let before = noc_core::cache::counters();
+    for figure in noc_bench::all_figure_set(&opts)? {
+        noc_bench::emit(&figure)?;
+    }
+    if noc_core::ExperimentCache::from_env().is_enabled() {
+        let delta = noc_core::cache::counters().since(&before);
+        println!("cache: {} hit(s), {} miss(es)", delta.hits, delta.misses);
+    }
     Ok(())
 }

@@ -6,11 +6,19 @@
 //! single-core host the parallel timings show thread-pool overhead,
 //! not speedup, and the file says so.
 //!
+//! Also records the `figures_cache` section `cache_guard` gates on:
+//! the full figure set timed cold (fresh content-addressed store)
+//! versus warm (every point answered from the store), with a
+//! byte-identical output check. The ambient `NOC_CACHE` is forced off
+//! for every other workload so a populated store can't flatter the
+//! sweep and hot-path timings.
+//!
 //! Usage: `cargo run --release --bin bench_sweep [out.json]
 //! [--baseline <flits/sec>]` — `--baseline` embeds a pre-optimization
 //! measurement of the same kernel for before/after comparison.
 
-use noc_core::report::RunMetadata;
+use noc_core::cache::{self, unique_temp_dir};
+use noc_core::report::{git_provenance, RunMetadata};
 use noc_core::{sweep_rates_with, Experiment, Parallelism, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use serde::Serialize;
@@ -58,6 +66,24 @@ struct LowRateRow {
     active_router_ratio: f64,
 }
 
+/// The full figure set timed cold (fresh content-addressed store,
+/// every point simulated) versus warm (every point answered from the
+/// store). `cache_guard` gates on `speedup`, `warm_misses == 0` and
+/// `byte_identical`.
+#[derive(Serialize)]
+struct FiguresCache {
+    workload: String,
+    cold_seconds: f64,
+    /// Median of [`REPEATS`] fully-cached passes.
+    warm_seconds: f64,
+    speedup: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    /// Whether the warm figures rendered byte-for-byte identical JSON
+    /// and CSV to the cold figures.
+    byte_identical: bool,
+}
+
 struct BenchReport {
     workload: Workload,
     /// How this report was produced: resolved worker threads, policy
@@ -82,6 +108,9 @@ struct BenchReport {
     /// where idle-router skipping pays off (`sparse_guard` gates on
     /// these rows).
     low_rate: Vec<LowRateRow>,
+    /// Warm-vs-cold figure regeneration through the experiment cache
+    /// (`cache_guard` gates on this section).
+    figures_cache: FiguresCache,
     note: String,
 }
 
@@ -112,6 +141,7 @@ impl Serialize for BenchReport {
             ),
             ("hot_path_gain".to_owned(), self.hot_path_gain.to_value()),
             ("low_rate".to_owned(), self.low_rate.to_value()),
+            ("figures_cache".to_owned(), self.figures_cache.to_value()),
             ("note".to_owned(), self.note.to_value()),
         ]);
         serde::Value::Object(fields)
@@ -127,19 +157,51 @@ fn sweep_config() -> SimConfig {
         .unwrap()
 }
 
-/// `git describe --always --dirty` of the working tree, or `None` when
-/// git is missing or the directory is not a repository.
-fn git_describe() -> Option<String> {
-    let out = std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()?;
-    if !out.status.success() {
-        return None;
-    }
-    let desc = String::from_utf8(out.stdout).ok()?;
-    let desc = desc.trim();
-    (!desc.is_empty()).then(|| desc.to_owned())
+/// Renders the exact bytes `all_figures` would publish per figure.
+fn rendered(figures: &[noc_core::report::FigureData]) -> Vec<(String, String)> {
+    figures.iter().map(|f| (f.to_json(), f.to_csv())).collect()
+}
+
+/// Times the full figure set (quick mode) cold against a fresh
+/// content-addressed store, then warm over [`REPEATS`] fully cached
+/// passes, and checks the warm output is byte-identical. Restores
+/// `NOC_CACHE=0` before returning so later workloads stay uncached.
+fn figures_cache_row() -> Result<(FiguresCache, cache::CacheCounters), Box<dyn std::error::Error>> {
+    let dir = unique_temp_dir("noc-bench-sweep-cache");
+    std::env::set_var("NOC_CACHE", &dir);
+    let opts = noc_core::FigureOptions::quick();
+
+    let start = Instant::now();
+    let cold_figures = noc_bench::all_figure_set(&opts)?;
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    let before = cache::counters();
+    let mut warm_figures = Vec::new();
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| -> Result<f64, Box<dyn std::error::Error>> {
+            let start = Instant::now();
+            warm_figures = noc_bench::all_figure_set(&opts)?;
+            Ok(start.elapsed().as_secs_f64())
+        })
+        .collect::<Result<_, _>>()?;
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let warm_seconds = samples[REPEATS / 2];
+    let warm_delta = cache::counters().since(&before);
+
+    std::env::set_var("NOC_CACHE", "0");
+    std::fs::remove_dir_all(&dir).ok();
+    let row = FiguresCache {
+        workload: "all paper figures (quick mode), cold store vs fully cached".to_owned(),
+        cold_seconds,
+        warm_seconds,
+        speedup: cold_seconds / warm_seconds,
+        // Per-pass counters so `warm_misses == 0` means "every pass was
+        // fully cached" regardless of REPEATS.
+        warm_hits: warm_delta.hits / REPEATS as u64,
+        warm_misses: warm_delta.misses,
+        byte_identical: rendered(&cold_figures) == rendered(&warm_figures),
+    };
+    Ok((row, warm_delta))
 }
 
 /// Median wall-clock seconds of the reference sweep over [`REPEATS`]
@@ -256,6 +318,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             path => out = path.to_owned(),
         }
     }
+    // A populated ambient store must not flatter the timings below;
+    // the figures_cache section provisions its own temporary store.
+    std::env::set_var("NOC_CACHE", "0");
     let host_cores = noc_core::parallel::available_cores();
     eprintln!("timing reference sweep ({host_cores} host cores, {REPEATS} repeats each)...");
     let sequential = time_sweep(Parallelism::Sequential);
@@ -264,6 +329,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flits = flits_per_sec();
     eprintln!("timing low-rate sparse-vs-dense kernels...");
     let low_rate: Vec<LowRateRow> = [0.05, 0.1].into_iter().map(low_rate_row).collect();
+    eprintln!("timing warm-vs-cold figure regeneration through the experiment cache...");
+    let (figures_cache, warm_counters) = figures_cache_row()?;
 
     let report = BenchReport {
         workload: Workload {
@@ -277,9 +344,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             repeats: REPEATS,
             statistic: "median".to_owned(),
         },
-        run_metadata: RunMetadata::for_parallelism(Parallelism::default()),
+        run_metadata: RunMetadata::for_parallelism(Parallelism::default())
+            .with_git_provenance()
+            .with_cache_counters(warm_counters),
         seed: BENCH_SEED,
-        git_describe: git_describe(),
+        git_describe: git_provenance().0,
         host_cores,
         sweep_seconds: SweepSeconds {
             sequential,
@@ -294,6 +363,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hot_path_flits_per_sec_baseline: baseline,
         hot_path_gain: baseline.map(|b| flits / b),
         low_rate,
+        figures_cache,
         note: if host_cores < 2 {
             "single-core host: parallel timings measure scheduling overhead, not speedup"
         } else {

@@ -1,0 +1,157 @@
+//! Experiment-cache guard: fails (exit 1) when the content-addressed
+//! cache loses its payoff or its bit-exactness.
+//!
+//! Three checks:
+//!
+//! 1. **Static** — `BENCH_sweep.json` (written by `bench_sweep`) must
+//!    carry a `figures_cache` section whose recorded warm-vs-cold
+//!    `all_figures` speedup meets [`MIN_RECORDED_SPEEDUP`], with the
+//!    warm pass answering every point from the cache
+//!    (`warm_misses == 0`) and byte-identical figure output.
+//! 2. **Live bit-exactness** — a cold `all_figures` workload (quick
+//!    mode) into a fresh temporary store, then a warm rerun, must
+//!    produce byte-identical JSON and CSV for every figure, with zero
+//!    warm misses: the cache never changes a published number.
+//! 3. **Live speedup** — the warm/cold wall-clock ratio re-measured on
+//!    this host must stay above [`MIN_LIVE_SPEEDUP`]. The recorded
+//!    baseline is the acceptance bar; the live bar is looser because
+//!    CI wall-clock is noisy.
+//!
+//! Usage: `cargo run --release --bin cache_guard [BENCH_sweep.json]`
+
+use noc_bench::guard::{bench_report_path, load_report, median_secs, require, GuardError};
+use noc_core::cache::{self, unique_temp_dir};
+use noc_core::report::FigureData;
+use serde::Deserialize;
+use std::time::Instant;
+
+/// The committed benchmark must show at least this warm-vs-cold
+/// speedup on the full figure set (the acceptance bar).
+const MIN_RECORDED_SPEEDUP: f64 = 10.0;
+
+/// The live re-measurement may sag below the recorded baseline on a
+/// busy CI host, but not below this.
+const MIN_LIVE_SPEEDUP: f64 = 3.0;
+
+/// The slice of `BENCH_sweep.json` the guard cares about; every other
+/// field is ignored.
+#[derive(Default, Deserialize)]
+#[serde(default)]
+struct CacheReport {
+    figures_cache: Option<FiguresCacheRow>,
+}
+
+#[derive(Deserialize)]
+struct FiguresCacheRow {
+    cold_seconds: f64,
+    warm_seconds: f64,
+    speedup: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    byte_identical: bool,
+}
+
+/// The exact bytes `all_figures` would publish for each figure.
+fn rendered(figures: &[FigureData]) -> Vec<(String, String)> {
+    figures.iter().map(|f| (f.to_json(), f.to_csv())).collect()
+}
+
+fn main() -> Result<(), GuardError> {
+    let path = bench_report_path();
+
+    // Static check: the committed benchmark report.
+    let report: CacheReport = load_report(&path)?;
+    let Some(row) = &report.figures_cache else {
+        return Err(format!(
+            "{path} has no figures_cache section — regenerate it with \
+             `cargo run --release --bin bench_sweep`"
+        )
+        .into());
+    };
+    println!(
+        "{path}: all_figures cold {:.2}s vs warm {:.3}s -> speedup {:.1} \
+         (warm {} hit(s) / {} miss(es), byte_identical {})",
+        row.cold_seconds,
+        row.warm_seconds,
+        row.speedup,
+        row.warm_hits,
+        row.warm_misses,
+        row.byte_identical,
+    );
+    require(
+        row.byte_identical,
+        "recorded warm figures were not byte-identical to cold figures",
+    )?;
+    require(
+        row.warm_misses == 0 && row.warm_hits > 0,
+        format!(
+            "recorded warm pass was not fully cached: {} hit(s), {} miss(es)",
+            row.warm_hits, row.warm_misses
+        ),
+    )?;
+    require(
+        row.speedup >= MIN_RECORDED_SPEEDUP,
+        format!(
+            "recorded warm-vs-cold speedup regressed: {:.1} < {MIN_RECORDED_SPEEDUP}",
+            row.speedup
+        ),
+    )?;
+
+    // Live checks: fresh store, cold once, warm re-measured.
+    let dir = unique_temp_dir("noc-cache-guard");
+    std::env::set_var("NOC_CACHE", &dir);
+    let opts = noc_core::FigureOptions::quick();
+
+    let before = cache::counters();
+    let started = Instant::now();
+    let cold_figures = noc_bench::all_figure_set(&opts)?;
+    let cold_secs = started.elapsed().as_secs_f64();
+    let cold_delta = cache::counters().since(&before);
+    // A few points hit even against a fresh store: figures sharing an
+    // identical experiment point reuse the record an earlier figure in
+    // the same pass stored — that is the cache working, not staleness.
+    println!(
+        "live cold: {cold_secs:.2}s, {} point(s) simulated, {} deduplicated",
+        cold_delta.misses, cold_delta.hits
+    );
+    require(
+        cold_delta.misses > cold_delta.hits,
+        "cold pass against a fresh store must simulate nearly every point",
+    )?;
+
+    let before = cache::counters();
+    let mut warm_figures = Vec::new();
+    let warm_secs = median_secs(3, || {
+        warm_figures = noc_bench::all_figure_set(&opts)?;
+        Ok(())
+    })?;
+    let warm_delta = cache::counters().since(&before);
+    std::fs::remove_dir_all(&dir).ok();
+
+    require(
+        warm_delta.misses == 0,
+        format!(
+            "warm pass simulated {} point(s); every point must hit",
+            warm_delta.misses
+        ),
+    )?;
+    require(
+        rendered(&cold_figures) == rendered(&warm_figures),
+        "warm figures are not byte-identical to cold figures",
+    )?;
+    let live_speedup = cold_secs / warm_secs;
+    println!(
+        "live warm: {warm_secs:.3}s (median of 3) -> speedup {live_speedup:.1}, \
+         {} hit(s) over 3 passes",
+        warm_delta.hits
+    );
+    require(
+        live_speedup >= MIN_LIVE_SPEEDUP,
+        format!("live warm-vs-cold speedup dropped to {live_speedup:.1} (< {MIN_LIVE_SPEEDUP})"),
+    )?;
+    println!(
+        "cache guard passed (recorded speedup >= {MIN_RECORDED_SPEEDUP}, live speedup >= \
+         {MIN_LIVE_SPEEDUP}, figures byte-identical)"
+    );
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //!
 //! Usage: `cargo run --release --bin probe_guard [BENCH_sweep.json]`
 
+use noc_bench::guard::{bench_report_path, load_report, require, GuardError};
 use noc_core::{Experiment, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use serde::Deserialize;
@@ -51,35 +52,31 @@ fn hot_path_experiment() -> Experiment {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+fn main() -> Result<(), GuardError> {
+    let path = bench_report_path();
 
     // Static check: the committed benchmark report.
-    let report: GainReport = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
-    match (report.hot_path_gain, report.hot_path_flits_per_sec_baseline) {
-        (Some(gain), Some(baseline)) => {
-            println!(
-                "{path}: hot path {:.0} flits/sec vs pre-probe baseline {:.0} -> gain {:.4}",
-                report.hot_path_flits_per_sec, baseline, gain
-            );
-            if gain < MIN_GAIN {
-                return Err(format!(
-                    "NullProbe hot path regressed: gain {gain:.4} < {MIN_GAIN} \
-                     (more than 3% slower than the pre-probe baseline)"
-                )
-                .into());
-            }
-        }
-        _ => {
-            return Err(format!(
-                "{path} has no hot_path_gain/baseline — regenerate it with \
-                 `cargo run --release --bin bench_sweep -- --baseline <flits/sec>`"
-            )
-            .into());
-        }
-    }
+    let report: GainReport = load_report(&path)?;
+    let (Some(gain), Some(baseline)) =
+        (report.hot_path_gain, report.hot_path_flits_per_sec_baseline)
+    else {
+        return Err(format!(
+            "{path} has no hot_path_gain/baseline — regenerate it with \
+             `cargo run --release --bin bench_sweep -- --baseline <flits/sec>`"
+        )
+        .into());
+    };
+    println!(
+        "{path}: hot path {:.0} flits/sec vs pre-probe baseline {:.0} -> gain {gain:.4}",
+        report.hot_path_flits_per_sec, baseline
+    );
+    require(
+        gain >= MIN_GAIN,
+        format!(
+            "NullProbe hot path regressed: gain {gain:.4} < {MIN_GAIN} \
+             (more than 3% slower than the pre-probe baseline)"
+        ),
+    )?;
 
     // Live check: tracing must not perturb the simulation.
     let experiment = hot_path_experiment();
@@ -89,9 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
     let (traced, recorder) = experiment.run_traced_with_seed(experiment.config.seed)?;
     let traced_secs = started.elapsed().as_secs_f64();
-    if plain != traced {
-        return Err("recorder perturbed the run: traced SimStats differ from untraced".into());
-    }
+    require(
+        plain == traced,
+        "recorder perturbed the run: traced SimStats differ from untraced",
+    )?;
     println!(
         "recorder non-perturbation: OK ({} events, digest {:016x})",
         recorder.events().len(),

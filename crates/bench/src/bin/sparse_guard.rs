@@ -23,10 +23,10 @@
 //!
 //! Usage: `cargo run --release --bin sparse_guard [BENCH_sweep.json]`
 
+use noc_bench::guard::{bench_report_path, load_report, median_secs, require, GuardError};
 use noc_core::{Experiment, TopologySpec, TrafficSpec};
 use noc_sim::SimConfig;
 use serde::Deserialize;
-use std::time::Instant;
 
 /// The committed benchmark must show at least this sparse-vs-dense
 /// gain on the lowest recorded rate (the acceptance bar).
@@ -76,31 +76,25 @@ fn low_rate_experiment(lambda: f64, sparse: bool) -> Experiment {
 }
 
 /// Median wall-clock seconds of the experiment over three runs.
-fn median_secs(experiment: &Experiment) -> Result<f64, Box<dyn std::error::Error>> {
-    let mut samples: Vec<f64> = Vec::with_capacity(3);
-    for _ in 0..3 {
-        let start = Instant::now();
+fn experiment_median_secs(experiment: &Experiment) -> Result<f64, GuardError> {
+    median_secs(3, || {
         std::hint::black_box(experiment.run()?);
-        samples.push(start.elapsed().as_secs_f64());
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    Ok(samples[1])
+        Ok(())
+    })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+fn main() -> Result<(), GuardError> {
+    let path = bench_report_path();
 
     // Static check: the committed benchmark report.
-    let report: SparseReport = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
-    if report.low_rate.is_empty() {
-        return Err(format!(
+    let report: SparseReport = load_report(&path)?;
+    require(
+        !report.low_rate.is_empty(),
+        format!(
             "{path} has no low_rate rows — regenerate it with \
              `cargo run --release --bin bench_sweep`"
-        )
-        .into());
-    }
+        ),
+    )?;
     let lowest = report
         .low_rate
         .iter()
@@ -121,13 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             MIN_RECORDED_GAIN_BUSY
         };
-        if row.sparse_gain < bar {
-            return Err(format!(
+        require(
+            row.sparse_gain >= bar,
+            format!(
                 "recorded low-rate gain at lambda {} regressed: {:.2} < {bar}",
                 row.injection_rate, row.sparse_gain
-            )
-            .into());
-        }
+            ),
+        )?;
     }
 
     // Live checks: bit-exactness at every recorded rate, wall-clock
@@ -138,28 +132,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dense_exp = low_rate_experiment(lambda, false);
         let sparse = sparse_exp.run()?;
         let dense = dense_exp.run()?;
-        if sparse != dense {
-            return Err(
-                format!("sparse core diverged from dense reference at lambda {lambda}").into(),
-            );
-        }
+        require(
+            sparse == dense,
+            format!("sparse core diverged from dense reference at lambda {lambda}"),
+        )?;
         if lambda != lowest {
             continue;
         }
-        let sparse_secs = median_secs(&sparse_exp)?;
-        let dense_secs = median_secs(&dense_exp)?;
+        let sparse_secs = experiment_median_secs(&sparse_exp)?;
+        let dense_secs = experiment_median_secs(&dense_exp)?;
         let live_gain = dense_secs / sparse_secs;
         println!(
             "live at lambda {lambda}: sparse {sparse_secs:.4}s vs dense {dense_secs:.4}s \
              -> gain {live_gain:.2}"
         );
-        if live_gain < MIN_LIVE_GAIN {
-            return Err(format!(
+        require(
+            live_gain >= MIN_LIVE_GAIN,
+            format!(
                 "live low-rate gain at lambda {lambda} dropped to {live_gain:.2} \
                  (< {MIN_LIVE_GAIN})"
-            )
-            .into());
-        }
+            ),
+        )?;
     }
     println!(
         "sparse guard passed (recorded gain >= {MIN_RECORDED_GAIN}, live gain >= {MIN_LIVE_GAIN}, \

@@ -1,0 +1,123 @@
+//! Shared plumbing for the guard binaries (`probe_guard`,
+//! `sparse_guard`, `cache_guard`).
+//!
+//! Every guard follows the same two-layer shape:
+//!
+//! 1. **Static** — load the committed `BENCH_sweep.json` (path from
+//!    the first CLI argument, [`bench_report_path`]), deserialize just
+//!    the slice it cares about ([`load_report`]) and gate recorded
+//!    numbers against the acceptance bar;
+//! 2. **Live** — re-measure on the current host ([`median_secs`])
+//!    against a looser bar, since absolute wall-clock on a busy CI
+//!    machine is noisy while recorded baselines are not.
+//!
+//! [`require`] turns a failed check into the guard's `Err` (exit 1)
+//! without each binary hand-rolling `if !ok { return Err(...) }`.
+
+use std::time::Instant;
+
+/// The error type all guard binaries bubble up to `main`.
+pub type GuardError = Box<dyn std::error::Error>;
+
+/// The benchmark-report path: the first CLI argument, defaulting to
+/// the committed `BENCH_sweep.json`.
+pub fn bench_report_path() -> String {
+    std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned())
+}
+
+/// Reads and deserializes a guard's slice of the benchmark report.
+/// Deserialize the slice into a `#[serde(default)]` struct holding
+/// only the fields the guard gates on; unknown fields are ignored.
+///
+/// # Errors
+///
+/// Returns the I/O or parse error, labelled with the path.
+pub fn load_report<T: serde::Deserialize>(path: &str) -> Result<T, GuardError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}").into())
+}
+
+/// Passes the check when `ok`, otherwise fails the guard with
+/// `message`.
+///
+/// # Errors
+///
+/// Returns `message` as the guard error when `ok` is false.
+pub fn require(ok: bool, message: impl Into<String>) -> Result<(), GuardError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(message.into().into())
+    }
+}
+
+/// Median wall-clock seconds of `work` over `repeats` runs (the
+/// standard live-measurement statistic: robust to one slow outlier on
+/// a shared host).
+///
+/// # Errors
+///
+/// Propagates the first error `work` returns.
+///
+/// # Panics
+///
+/// Panics if `repeats` is zero.
+pub fn median_secs(
+    repeats: usize,
+    mut work: impl FnMut() -> Result<(), GuardError>,
+) -> Result<f64, GuardError> {
+    assert!(repeats > 0, "median over zero runs");
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        work()?;
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall-clock is never NaN"));
+    Ok(samples[repeats / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn require_passes_and_fails() {
+        assert!(require(true, "unused").is_ok());
+        let err = require(false, "the bar").unwrap_err();
+        assert_eq!(err.to_string(), "the bar");
+    }
+
+    #[test]
+    fn median_is_order_robust() {
+        let mut calls = 0usize;
+        let secs = median_secs(3, || {
+            calls += 1;
+            if calls == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(calls, 3);
+        // The one slow run is the max, not the median.
+        assert!(secs < 0.03, "median {secs}s should exclude the outlier");
+    }
+
+    #[test]
+    fn median_propagates_errors() {
+        let err = median_secs(2, || Err("boom".into())).unwrap_err();
+        assert_eq!(err.to_string(), "boom");
+    }
+
+    #[test]
+    fn load_report_labels_missing_file() {
+        #[derive(Debug, Default, serde::Deserialize)]
+        #[serde(default)]
+        struct Empty {}
+        let err = load_report::<Empty>("/nonexistent/bench.json").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/bench.json"));
+    }
+}

@@ -9,6 +9,8 @@
 use noc_core::report::FigureData;
 use std::path::{Path, PathBuf};
 
+pub mod guard;
+
 /// Directory the figure binaries write their CSV/JSON dumps into
 /// (relative to the working directory).
 pub const RESULTS_DIR: &str = "results";
@@ -21,6 +23,32 @@ pub fn figure_options_from_env() -> noc_core::FigureOptions {
         Ok("quick") => noc_core::FigureOptions::quick(),
         _ => noc_core::FigureOptions::full(),
     }
+}
+
+/// Computes every figure and table of the paper, in publication order:
+/// Figures 2-3 and the link-count table (analytical), then the
+/// simulated Figures 5-11. This is the workload `all_figures` emits
+/// and `cache_guard` times warm-vs-cold.
+///
+/// # Errors
+///
+/// Returns the first figure-construction error.
+pub fn all_figure_set(
+    opts: &noc_core::FigureOptions,
+) -> Result<Vec<FigureData>, noc_core::CoreError> {
+    let mut figures = vec![
+        noc_core::figures::fig2(64),
+        noc_core::figures::fig3(64),
+        noc_core::figures::table_links(&[8, 12, 16, 24, 32, 48, 64]),
+        noc_core::figures::fig5(opts)?,
+    ];
+    let (fig6, fig7) = noc_core::figures::fig6_7(opts)?;
+    figures.extend([fig6, fig7]);
+    let (fig8, fig9) = noc_core::figures::fig8_9(opts)?;
+    figures.extend([fig8, fig9]);
+    let (fig10, fig11) = noc_core::figures::fig10_11(opts)?;
+    figures.extend([fig10, fig11]);
+    Ok(figures)
 }
 
 /// Prints a figure as an ASCII table plus a terminal line plot, and

@@ -13,6 +13,10 @@
 //!                                    a latency decomposition table
 //! noc-cli conformance --nodes 16 --reps 2 --threads 4
 //!                                    differential conformance harness
+//! noc-cli cache stats [DIR]          entry count / bytes of the store
+//! noc-cli cache gc [DIR] --max-bytes B
+//!                                    shrink the store, oldest first
+//! noc-cli cache verify [DIR] [--fix] validate records, delete bad ones
 //! noc-cli example                    print an example spec
 //! noc-cli metrics <N>                analytical metrics at N nodes
 //! ```
@@ -20,6 +24,12 @@
 //! `run` and `sweep` accept `--threads N` to pin the parallel engine's
 //! worker count (default: all cores, or the `NOC_THREADS` environment
 //! variable). Results are bit-identical for any thread count.
+//!
+//! `run` and `sweep` also accept `--cache` / `--no-cache` to force the
+//! content-addressed experiment cache on (at its default directory,
+//! `results/.cache`) or off, overriding the `NOC_CACHE` environment
+//! variable. Cached results are bit-identical to fresh simulation; a
+//! hit/miss summary is printed when caching is active.
 //!
 //! A spec is the JSON form of [`noc_core::Experiment`]; get a template
 //! with `noc-cli example`.
@@ -41,6 +51,27 @@ fn parse_threads(value: &str) -> Result<Parallelism, String> {
     }
 }
 
+/// Applies a `--cache` / `--no-cache` choice by overriding the
+/// `NOC_CACHE` environment variable (read by the experiment engine's
+/// [`noc_core::ExperimentCache::from_env`]). Called while the process
+/// is still single-threaded, before any worker spawns.
+fn apply_cache_flag(choice: Option<bool>) {
+    match choice {
+        Some(true) => std::env::set_var("NOC_CACHE", "1"),
+        Some(false) => std::env::set_var("NOC_CACHE", "0"),
+        None => {}
+    }
+}
+
+/// Prints the hit/miss summary accumulated since `before`, when the
+/// cache is active.
+fn print_cache_summary(before: noc_core::CacheCounters) {
+    if noc_core::ExperimentCache::from_env().is_enabled() {
+        let delta = noc_core::cache::counters().since(&before);
+        println!("cache: {} hit(s), {} miss(es)", delta.hits, delta.misses);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -48,11 +79,12 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("example") => cmd_example(),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: noc-cli run <spec.json> [--reps N] [--threads N] [--audit] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] | trace <spec.json> [--out DIR] [--window N] | conformance [--nodes N] [--reps N] [--threads N] | example | metrics <N>"
+                "usage: noc-cli run <spec.json> [--reps N] [--threads N] [--audit] [--cache|--no-cache] | sweep <spec.json> [--max R] [--steps K] [--reps N] [--threads N] [--cache|--no-cache] | trace <spec.json> [--out DIR] [--window N] | conformance [--nodes N] [--reps N] [--threads N] | cache stats|gc|verify [DIR] [--max-bytes B] [--fix] | example | metrics <N>"
             );
             return ExitCode::from(2);
         }
@@ -70,6 +102,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing spec path")?;
     let mut reps = 1usize;
     let mut audit = false;
+    let mut cache_flag = None;
     let mut parallelism = Parallelism::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -85,9 +118,13 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?;
             }
             "--audit" => audit = true,
+            "--cache" => cache_flag = Some(true),
+            "--no-cache" => cache_flag = Some(false),
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
+    apply_cache_flag(cache_flag);
+    let counters_before = noc_core::cache::counters();
     let spec = std::fs::read_to_string(path)?;
     let experiment: Experiment = serde_json::from_str(&spec)?;
     println!(
@@ -104,7 +141,12 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return cmd_run_audited(&experiment, reps, parallelism);
     }
     if reps == 1 {
-        let result = experiment.run()?;
+        let cache = noc_core::ExperimentCache::from_env();
+        let result = if cache.is_enabled() {
+            noc_core::cache::run_cached(&cache, &experiment, experiment.config.seed)?
+        } else {
+            experiment.run()?
+        };
         println!("{}", result.stats);
         println!(
             "acceptance {:.3}, mean hops {:.3}, p95 latency {} cycles",
@@ -116,6 +158,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let agg = experiment.run_replicated_with(reps, parallelism)?;
         print_aggregate(&agg);
     }
+    print_cache_summary(counters_before);
     Ok(())
 }
 
@@ -273,18 +316,23 @@ fn cmd_conformance(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing spec path")?;
     let (mut max, mut steps, mut reps) = (0.6f64, 12usize, 1usize);
+    let mut cache_flag = None;
     let mut parallelism = Parallelism::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
-        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
-            "--max" => max = value.parse()?,
-            "--steps" => steps = value.parse()?,
-            "--reps" => reps = value.parse()?,
-            "--threads" => parallelism = parse_threads(value)?,
+            "--max" => max = value()?.parse()?,
+            "--steps" => steps = value()?.parse()?,
+            "--reps" => reps = value()?.parse()?,
+            "--threads" => parallelism = parse_threads(value()?)?,
+            "--cache" => cache_flag = Some(true),
+            "--no-cache" => cache_flag = Some(false),
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
+    apply_cache_flag(cache_flag);
+    let counters_before = noc_core::cache::counters();
     let experiment: Experiment = serde_json::from_str(&std::fs::read_to_string(path)?)?;
     let rates: Vec<f64> = (1..=steps).map(|i| max * i as f64 / steps as f64).collect();
     let sweep = noc_core::sweep_rates_with(
@@ -318,6 +366,99 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             p.latency_p95,
             p.latency_p99
         );
+    }
+    print_cache_summary(counters_before);
+    Ok(())
+}
+
+/// `cache`: inspect and maintain the content-addressed experiment
+/// store. The directory comes from the positional argument, else
+/// `NOC_CACHE` (when it names one), else the default
+/// `results/.cache`.
+fn cmd_cache(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("cache needs an action: stats | gc | verify")?;
+    let mut dir: Option<String> = None;
+    let mut max_bytes = noc_core::cache::DEFAULT_GC_BYTES;
+    let mut fix = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-bytes" => {
+                max_bytes = it
+                    .next()
+                    .ok_or("--max-bytes needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-bytes must be an integer byte count")?;
+            }
+            "--fix" => fix = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}").into()),
+            positional => {
+                if dir.replace(positional.to_owned()).is_some() {
+                    return Err("cache takes at most one directory".into());
+                }
+            }
+        }
+    }
+    let cache = match dir {
+        Some(dir) => noc_core::ExperimentCache::at(dir),
+        None => {
+            let from_env = noc_core::ExperimentCache::from_env();
+            if from_env.is_enabled() {
+                from_env
+            } else {
+                noc_core::ExperimentCache::default_dir()
+            }
+        }
+    };
+    let dir = cache.dir().expect("cache resolved to a directory");
+    match action {
+        "stats" => {
+            let stats = cache.stats()?;
+            println!(
+                "{}: {} entr{}, {} bytes",
+                dir.display(),
+                stats.entries,
+                if stats.entries == 1 { "y" } else { "ies" },
+                stats.total_bytes
+            );
+        }
+        "gc" => {
+            let outcome = cache.gc(max_bytes)?;
+            println!(
+                "{}: removed {} record(s), freed {} bytes; {} entr{} / {} bytes remain (limit {})",
+                dir.display(),
+                outcome.removed,
+                outcome.freed_bytes,
+                outcome.remaining.entries,
+                if outcome.remaining.entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                outcome.remaining.total_bytes,
+                max_bytes
+            );
+        }
+        "verify" => {
+            let outcome = cache.verify(fix)?;
+            for (path, reason) in &outcome.corrupt {
+                println!("corrupt: {} ({reason})", path.display());
+            }
+            println!(
+                "{}: {} ok, {} corrupt, {} removed",
+                dir.display(),
+                outcome.ok,
+                outcome.corrupt.len(),
+                outcome.removed
+            );
+            if !outcome.corrupt.is_empty() && !fix {
+                return Err("corrupt records found (rerun with --fix to delete them)".into());
+            }
+        }
+        other => return Err(format!("unknown cache action {other}").into()),
     }
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Differential conformance harness: replays identical seeded
 //! scenarios across execution modes and asserts they agree exactly.
 //!
-//! Four differences are checked for every case and replication seed:
+//! Five differences are checked for every case and replication seed:
 //!
 //! 1. **audited vs unaudited** — attaching the runtime invariant
 //!    auditor ([`noc_sim::audit`]) must not change a single bit of the
@@ -15,7 +15,12 @@
 //!    be bit-identical to the dense reference core
 //!    ([`SimConfig::sparse`] and [`SimConfig::compiled_routes`] both
 //!    off), unaudited *and* audited;
-//! 4. **zero violations** — every audited run must come back clean.
+//! 4. **cached vs fresh** — replaying the replications through the
+//!    experiment cache ([`crate::cache`]) into a cold store and then
+//!    a second time against the warm store must return the plain
+//!    results bit-for-bit, with the warm pass simulating nothing
+//!    (every point a hit);
+//! 5. **zero violations** — every audited run must come back clean.
 //!
 //! The default case grid replays the paper's topology triple (ring,
 //! Spidergon, 2D mesh) at matched sizes under homogeneous and single
@@ -55,6 +60,9 @@ pub struct CaseOutcome {
     /// The sparse active-set core matched the dense reference core
     /// bit-for-bit — unaudited stats, audited stats and audit reports.
     pub sparse_matches_dense: bool,
+    /// Cold-cache and warm-cache runs both matched the fresh results
+    /// bit-for-bit, and the warm pass hit on every point.
+    pub cached_matches_fresh: bool,
     /// Total audit violations over all audited runs (0 when clean).
     pub violations: usize,
     /// Total audit checks performed over all audited runs.
@@ -69,6 +77,7 @@ impl CaseOutcome {
         self.audited_matches_unaudited
             && self.parallel_matches_sequential
             && self.sparse_matches_dense
+            && self.cached_matches_fresh
             && self.violations == 0
     }
 }
@@ -77,12 +86,14 @@ impl fmt::Display for CaseOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}] audit=stats:{} par=seq:{} sparse=dense:{} violations:{} checks:{} reps:{}",
+            "{} [{}] audit=stats:{} par=seq:{} sparse=dense:{} cache=fresh:{} violations:{} \
+             checks:{} reps:{}",
             if self.passed() { "PASS" } else { "FAIL" },
             self.label,
             self.audited_matches_unaudited,
             self.parallel_matches_sequential,
             self.sparse_matches_dense,
+            self.cached_matches_fresh,
             self.violations,
             self.checks,
             self.replications,
@@ -182,9 +193,11 @@ pub fn matched_size_cases(
     Ok(cases)
 }
 
-/// Replays every case `replications` times in three modes — unaudited
-/// sequential, audited sequential, audited on the parallel engine —
-/// and reports whether they agree bit-for-bit with zero violations.
+/// Replays every case `replications` times across execution modes —
+/// unaudited sequential, audited sequential, audited on the parallel
+/// engine, the dense reference core (plain and audited), and through
+/// a cold then warm experiment cache — and reports whether they agree
+/// bit-for-bit with zero violations.
 ///
 /// `parallelism` is the worker policy for the parallel mode
 /// (sequential execution of that mode still goes through the same
@@ -247,6 +260,28 @@ pub fn run_conformance(
             .iter()
             .map(|&s| dense_experiment.run_audited_with_seed(s))
             .collect::<Result<_, _>>()?;
+        // Modes 6 and 7: through the experiment cache, cold (every
+        // point simulated and stored) then warm (every point answered
+        // from disk). Each case gets its own throwaway store so
+        // concurrent test processes cannot interfere.
+        let cache_dir = crate::cache::unique_temp_dir("noc-conformance-cache");
+        let cache = crate::cache::ExperimentCache::at(&cache_dir);
+        let jobs = |exp: &Experiment| -> Vec<crate::ExperimentJob> {
+            seeds
+                .iter()
+                .map(|&s| crate::ExperimentJob {
+                    experiment: exp.clone(),
+                    seed: s,
+                })
+                .collect()
+        };
+        let cached_cold =
+            crate::run_experiment_jobs_with_cache(jobs(&case.experiment), parallelism, &cache)?;
+        let before_warm = crate::cache::counters();
+        let cached_warm =
+            crate::run_experiment_jobs_with_cache(jobs(&case.experiment), parallelism, &cache)?;
+        let warm_delta = crate::cache::counters().since(&before_warm);
+        std::fs::remove_dir_all(&cache_dir).ok();
 
         let audited_matches_unaudited = plain.iter().zip(&audited_seq).all(|(p, (a, _))| p == a);
         if !audited_matches_unaudited {
@@ -269,6 +304,18 @@ pub fn run_conformance(
                 case.label
             ));
         }
+        let cached_matches_fresh =
+            cached_cold == plain && cached_warm == plain && warm_delta.misses == 0;
+        if !cached_matches_fresh {
+            failures.push(format!(
+                "{}: cached results diverge from fresh simulation \
+                 (cold=={}, warm=={}, warm misses {})",
+                case.label,
+                cached_cold == plain,
+                cached_warm == plain,
+                warm_delta.misses
+            ));
+        }
         let violations = audited_seq
             .iter()
             .map(|(_, rep)| rep.violations.len())
@@ -285,6 +332,7 @@ pub fn run_conformance(
             audited_matches_unaudited,
             parallel_matches_sequential,
             sparse_matches_dense,
+            cached_matches_fresh,
             violations,
             checks: audited_seq.iter().map(|(_, rep)| rep.checks).sum(),
             replications,
@@ -342,6 +390,7 @@ mod tests {
             audited_matches_unaudited: true,
             parallel_matches_sequential: true,
             sparse_matches_dense: true,
+            cached_matches_fresh: true,
             violations: 0,
             checks: 10,
             replications: 1,

@@ -16,6 +16,9 @@
 //!   replications, sweeps and figure grids across cores (worker count
 //!   via [`Parallelism`] or the `NOC_THREADS` environment variable)
 //!   while keeping output bit-identical to a sequential run;
+//! * [`cache`] — content-addressed on-disk cache of run results
+//!   (enabled via `NOC_CACHE`), so warm reruns of sweeps and figures
+//!   only re-simulate points whose spec, seed or code version changed;
 //! * [`figures`] — one function per paper figure, returning
 //!   [`report::FigureData`] ready to print as an ASCII table or CSV;
 //! * [`saturation_point`] — quantitative saturation detection;
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod conformance;
 mod error;
 mod experiment;
@@ -57,13 +61,19 @@ mod saturation;
 mod spec;
 mod sweep;
 
+pub use cache::{
+    canonical_key, fingerprint, CacheCounters, CacheStats, ExperimentCache, Fingerprint,
+    CACHE_SCHEMA,
+};
 pub use conformance::{
     matched_size_cases, run_conformance, CaseOutcome, ConformanceCase, ConformanceReport,
 };
 pub use error::CoreError;
 pub use experiment::{mean_std, Aggregate, Experiment, RunResult};
 pub use figures::FigureOptions;
-pub use parallel::{run_experiment_jobs, run_indexed, ExperimentJob, Parallelism};
+pub use parallel::{
+    run_experiment_jobs, run_experiment_jobs_with_cache, run_indexed, ExperimentJob, Parallelism,
+};
 pub use saturation::{saturation_point, SaturationPoint, DEFAULT_ACCEPTANCE_THRESHOLD};
 pub use spec::{TopologySpec, TrafficSpec};
 pub use sweep::{default_rate_grid, sweep_rates, sweep_rates_with, SweepPoint, SweepResult};

@@ -116,4 +116,34 @@ mod tests {
         let sweep = fake_sweep(&[1.0]);
         let _ = saturation_point(&sweep, 0.0);
     }
+
+    #[test]
+    fn single_point_sweep_saturated_or_not() {
+        // One saturated point: declared at that point's rate.
+        let sat = saturation_point(&fake_sweep(&[0.5]), 0.95).unwrap();
+        assert!((sat.rate - 0.1).abs() < 1e-12);
+        assert!((sat.throughput - 1.0).abs() < 1e-12);
+        assert!((sat.latency - 10.0).abs() < 1e-12);
+        // One accepting point: no saturation anywhere in the sweep.
+        assert!(saturation_point(&fake_sweep(&[1.0]), 0.95).is_none());
+        // Empty sweep trivially never saturates.
+        assert!(saturation_point(&fake_sweep(&[]), 0.95).is_none());
+    }
+
+    #[test]
+    fn sweep_saturating_at_first_rate() {
+        // Already saturated at the lowest rate — the first point wins
+        // even though later points are saturated too.
+        let sweep = fake_sweep(&[0.9, 0.8, 0.3]);
+        let sat = saturation_point(&sweep, 0.95).unwrap();
+        assert!((sat.rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_acceptance_is_not_saturated() {
+        // `acceptance == threshold` counts as accepting (strict <).
+        assert!(saturation_point(&fake_sweep(&[0.95, 0.95]), 0.95).is_none());
+        let sat = saturation_point(&fake_sweep(&[0.95, 0.9499]), 0.95).unwrap();
+        assert!((sat.rate - 0.2).abs() < 1e-12);
+    }
 }

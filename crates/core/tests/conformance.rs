@@ -7,6 +7,8 @@
 //! * the sparse active-set core (idle-router skipping, fast-forward,
 //!   compiled route tables) matches the dense reference core
 //!   bit-for-bit, unaudited and audited;
+//! * cached results equal freshly simulated results bit-for-bit, and a
+//!   warm cache answers every point without simulating;
 //! * zero violations across the paper's topology triple at matched
 //!   sizes, under uniform and hot-spot traffic, below and above
 //!   saturation.
@@ -39,6 +41,7 @@ fn topology_triple_conforms_with_four_workers() {
         assert!(outcome.audited_matches_unaudited, "{outcome}");
         assert!(outcome.parallel_matches_sequential, "{outcome}");
         assert!(outcome.sparse_matches_dense, "{outcome}");
+        assert!(outcome.cached_matches_fresh, "{outcome}");
         assert_eq!(outcome.violations, 0, "{outcome}");
         assert!(outcome.checks > 0, "{outcome}");
     }

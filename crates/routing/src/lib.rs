@@ -40,6 +40,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// This crate's version, folded into `noc_core`'s cache fingerprints
+/// so cached results never survive a routing-layer change.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
 mod adaptive;
 mod algorithm;
 pub mod cdg;

@@ -44,6 +44,10 @@
 // warnings`, so a violation fails the build).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+/// This crate's version, folded into `noc_core`'s cache fingerprints
+/// so cached results never survive an engine change.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub mod audit;
 mod buffer;
 mod config;

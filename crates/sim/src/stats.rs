@@ -32,7 +32,6 @@ use noc_topology::{Direction, NodeId};
 /// assert_eq!(stats.percentile(50.0), Some(30));
 /// ```
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyStats {
     count: u64,
     sum: u64,
@@ -126,6 +125,76 @@ impl LatencyStats {
 impl Default for LatencyStats {
     fn default() -> Self {
         LatencyStats::new()
+    }
+}
+
+// Hand-written serialization with a *sparse* histogram: at realistic
+// sample counts the dense 4096-bin vector is overwhelmingly zeros, so
+// the wire format carries only the non-zero bins as `[index, count]`
+// pairs. Scalar counters keep their dense meaning; a round trip is
+// exact. (This keeps serialized `SimStats` — e.g. records in
+// `noc_core`'s experiment cache — roughly an order of magnitude
+// smaller than the dense encoding.)
+#[cfg(feature = "serde")]
+impl serde::Serialize for LatencyStats {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let bins: Vec<Value> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| Value::Array(vec![(i as u64).to_value(), n.to_value()]))
+            .collect();
+        Value::Object(vec![
+            ("count".to_owned(), self.count.to_value()),
+            ("sum".to_owned(), self.sum.to_value()),
+            ("min".to_owned(), self.min.to_value()),
+            ("max".to_owned(), self.max.to_value()),
+            ("bins".to_owned(), Value::Array(bins)),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for LatencyStats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::__private::{as_object, opt_field, req_field};
+        use serde::{DeError, Value};
+        let obj = as_object(value, "LatencyStats")?;
+        let mut out = LatencyStats::new();
+        out.count = req_field(obj, "LatencyStats", "count")?;
+        out.sum = req_field(obj, "LatencyStats", "sum")?;
+        out.min = req_field(obj, "LatencyStats", "min")?;
+        out.max = req_field(obj, "LatencyStats", "max")?;
+        let bins = opt_field(obj, "bins")
+            .ok_or_else(|| DeError::custom("LatencyStats: missing field `bins`"))?;
+        let Value::Array(pairs) = bins else {
+            return Err(DeError::custom(format!(
+                "LatencyStats: `bins` must be an array, got {bins}"
+            )));
+        };
+        for pair in pairs {
+            let Value::Array(pair) = pair else {
+                return Err(DeError::custom(
+                    "LatencyStats: each bin must be an [index, count] pair",
+                ));
+            };
+            let [index, count] = pair.as_slice() else {
+                return Err(DeError::custom(
+                    "LatencyStats: each bin must be an [index, count] pair",
+                ));
+            };
+            let index = u64::from_value(index)? as usize;
+            let slot = out.bins.get_mut(index).ok_or_else(|| {
+                DeError::custom(format!(
+                    "LatencyStats: bin index {index} out of range (< {})",
+                    Self::HISTOGRAM_BINS
+                ))
+            })?;
+            *slot = u64::from_value(count)?;
+        }
+        Ok(out)
     }
 }
 
@@ -644,5 +713,75 @@ mod tests {
         }
         let rendered = s.to_string();
         assert!(rendered.contains("p50 50 / p95 95 / p99 99"), "{rendered}");
+    }
+
+    #[test]
+    #[cfg(feature = "serde")]
+    fn latency_stats_sparse_serialization_round_trips_exactly() {
+        let mut lat = LatencyStats::new();
+        for v in [0u64, 1, 7, 7, 4095, 10_000] {
+            lat.record(v);
+        }
+        let json = serde_json::to_string(&lat).unwrap();
+        // Sparse: only the non-zero bins appear on the wire.
+        assert!(json.contains("[0,1]") && json.contains("[7,2]"), "{json}");
+        assert!(json.contains("[4095,2]"), "overflow bin shared: {json}");
+        assert!(!json.contains("[2,0]"), "zero bins omitted: {json}");
+        let back: LatencyStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, lat);
+        // Empty summary (min = u64::MAX sentinel) survives too.
+        let empty = LatencyStats::new();
+        let back: LatencyStats =
+            serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    #[cfg(feature = "serde")]
+    fn latency_stats_deserialize_rejects_malformed_bins() {
+        let base = r#"{"count":1,"sum":1,"min":1,"max":1,"bins":BINS}"#;
+        for (bins, what) in [
+            ("[[4096,1]]", "out-of-range index"),
+            ("[[1]]", "short pair"),
+            ("[[1,2,3]]", "long pair"),
+            ("[7]", "non-pair element"),
+            ("7", "non-array bins"),
+        ] {
+            let json = base.replace("BINS", bins);
+            assert!(
+                serde_json::from_str::<LatencyStats>(&json).is_err(),
+                "{what} must be rejected: {json}"
+            );
+        }
+        assert!(
+            serde_json::from_str::<LatencyStats>(r#"{"count":1,"sum":1,"min":1,"max":1}"#).is_err(),
+            "missing bins must be rejected"
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "serde")]
+    fn sim_stats_json_round_trip_is_bit_exact() {
+        // The experiment cache persists serialized run results; a
+        // round trip must reproduce every field bit-for-bit, floats
+        // included (the vendored serde_json re-parses f64 exactly).
+        let mut stats = SimStats {
+            measured_cycles: 1000,
+            flits_injected: 123,
+            flits_delivered: 120,
+            packets_delivered: 20,
+            throughput_samples: vec![0.1, 0.2 + 0.1, f64::MIN_POSITIVE, 1.0 / 3.0],
+            per_node_delivered: vec![5, 5, 10],
+            ..SimStats::default()
+        };
+        for v in [3u64, 9, 9, 400] {
+            stats.latency.record(v);
+        }
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        // Idempotent: serializing the round-tripped value is
+        // byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

@@ -37,6 +37,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// This crate's version, folded into `noc_core`'s cache fingerprints
+/// so cached results never survive a topology-layer change.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub mod analytical;
 mod error;
 pub mod graph;
